@@ -1,0 +1,69 @@
+"""Benchmark plumbing: run each experiment once, save its report to disk.
+
+``pytest benchmarks/ --benchmark-only`` regenerates every table and figure of
+the paper at the scaled-down SMOKE/DEFAULT profiles and writes the formatted
+reports to ``benchmarks/reports/``. Pass ``--profile=default`` (or ``full``,
+hours of compute) to rescale.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+REPORT_DIR = Path(__file__).resolve().parent / "reports"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile",
+        action="store",
+        default="smoke",
+        choices=["smoke", "default", "full"],
+        help="Experiment scale profile (smoke | default | full)",
+    )
+
+
+@pytest.fixture(scope="session")
+def profile(request):
+    from repro.experiments import DEFAULT, FULL, SMOKE
+
+    return {"smoke": SMOKE, "default": DEFAULT, "full": FULL}[
+        request.config.getoption("--profile")
+    ]
+
+
+@pytest.fixture(scope="session")
+def sized_profile(profile):
+    """The selected profile with floors on dataset size and RL schedule.
+
+    Sweep-style figures (learning curves, threshold/hyper-parameter sweeps)
+    are uninformative on sub-100-sample datasets where every arm lands on the
+    same quantized CV score; this keeps the method budgets of the selected
+    profile but guarantees enough data/episodes for the sweeps to resolve.
+    """
+    import dataclasses
+
+    return dataclasses.replace(
+        profile,
+        dataset_scale=max(profile.dataset_scale, 0.25),
+        episodes=max(profile.episodes, 6),
+        steps_per_episode=max(profile.steps_per_episode, 4),
+        cold_start_episodes=max(profile.cold_start_episodes, 2),
+    )
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, report: str) -> None:
+        path = REPORT_DIR / f"{name}.txt"
+        path.write_text(report + "\n")
+        print(f"\n{report}\n[report saved to {path}]")
+
+    return _save

@@ -1,0 +1,27 @@
+"""Fig 10 bench — runtime scalability vs dataset size.
+
+Paper shape to verify: as size grows, OpenFE's runtime grows faster than
+FastFT's (per-candidate downstream evaluation vs predictor), and CAAFE
+carries a large size-independent constant.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig10
+
+
+def test_fig10_scalability(benchmark, profile, save_report):
+    data = benchmark.pedantic(
+        lambda: fig10.run(profile, seed=0, scales=[0.04, 0.12]),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig10_scalability", fig10.format_report(data))
+
+    small, large = 0, -1
+    fastft_growth = data["times"]["fastft"][large] / max(data["times"]["fastft"][small], 1e-9)
+    openfe_growth = data["times"]["openfe"][large] / max(data["times"]["openfe"][small], 1e-9)
+    # OpenFE scales worse than FastFT with dataset size (paper's Fig 10).
+    assert openfe_growth > fastft_growth * 0.8
+    # CAAFE's constant LLM latency dominates at small sizes.
+    assert data["times"]["caafe"][small] > data["times"]["fastft"][small]

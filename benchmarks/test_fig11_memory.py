@@ -1,0 +1,32 @@
+"""Fig 11 bench — predictor memory vs sequence length and the memory/time trade-off.
+
+Paper shape to verify: the recurrent predictor's memory grows *linearly*
+(slowly) with sequence length — parameters constant, activations linear —
+and a sub-megabyte predictor buys a measurable evaluation-time reduction.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig11
+
+
+def test_fig11_memory(benchmark, profile, save_report):
+    data = benchmark.pedantic(
+        lambda: fig11.run(profile, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig11_memory", fig11.format_report(data))
+
+    curve = data["memory_curve"]
+    params = [p["parameter_bytes"] for p in curve]
+    activations = [p["activation_bytes"] for p in curve]
+    # Parameters are sequence-length independent; activations grow linearly.
+    assert len(set(params)) == 1
+    ratios = [b / a for a, b in zip(activations, activations[1:])]
+    lengths = [p["seq_len"] for p in curve]
+    expected = [b / a for a, b in zip(lengths, lengths[1:])]
+    for got, want in zip(ratios, expected):
+        assert got == want  # exactly linear for the LSTM encoder
+    # The trade-off saves evaluation time.
+    assert data["tradeoff"]["time_saved"] > 0

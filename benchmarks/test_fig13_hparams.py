@@ -1,0 +1,34 @@
+"""Fig 13 bench — hyper-parameter sweeps: novelty weight ε_s, decay M, memory S.
+
+Paper shape to verify: scores are stable across reasonable settings (the
+paper's generalization claim) — we assert a bounded spread per sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig13
+
+
+def test_fig13_hparams(benchmark, sized_profile, save_report):
+    data = benchmark.pedantic(
+        lambda: fig13.run(
+            sized_profile,
+            seed=0,
+            datasets=["pima_indian"],
+            novelty_weights=[0.01, 0.10, 0.50],
+            decay_steps=[100, 1000],
+            memory_sizes=[8, 16, 64],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig13_hparams", fig13.format_report(data))
+
+    for sweep_name, per_dataset in data["sweeps"].items():
+        for ds, points in per_dataset.items():
+            scores = np.array([p["score"] for p in points])
+            assert scores.max() - scores.min() < 0.2, (
+                f"{sweep_name} unstable on {ds}: {scores}"
+            )

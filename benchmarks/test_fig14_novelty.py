@@ -1,0 +1,27 @@
+"""Fig 14 bench — the novelty reward's effect on exploration breadth.
+
+Paper shape to verify: with the Novelty Estimator, FastFT accumulates at
+least as many unencountered feature combinations and at least comparable
+average novelty distance as the −NE arm, at comparable-or-better score.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig14
+
+
+def test_fig14_novelty(benchmark, sized_profile, save_report):
+    data = benchmark.pedantic(
+        lambda: fig14.run(sized_profile, seed=0, dataset_name="wine_quality_red"),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig14_novelty", fig14.format_report(data))
+
+    full = data["arms"]["FastFT"]
+    no_ne = data["arms"]["FastFT-NE"]
+    assert full["final_unencountered"] >= no_ne["final_unencountered"] * 0.7
+    assert full["score"] >= no_ne["score"] - 0.1
+    # The unencountered counter is cumulative (non-decreasing).
+    series = full["unencountered"]
+    assert all(a <= b for a, b in zip(series, series[1:]))

@@ -1,0 +1,29 @@
+"""Fig 7 bench — Actor-Critic vs the DQN family.
+
+Paper shape to verify: all five frameworks run inside the cascade and
+Actor-Critic's final score is at or near the top.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig7
+
+
+def test_fig7_rl_frameworks(benchmark, sized_profile, save_report):
+    data = benchmark.pedantic(
+        lambda: fig7.run(
+            sized_profile,
+            seed=0,
+            dataset_name="pima_indian",
+            frameworks=["actor_critic", "dqn", "dueling_double_dqn"],
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig7_rl_frameworks", fig7.format_report(data))
+
+    finals = data["finals"]
+    assert finals["actor_critic"] >= max(finals.values()) - 0.1
+    # Learning curves are monotone non-decreasing (best-so-far semantics).
+    for curve in data["curves"].values():
+        assert all(a <= b + 1e-12 for a, b in zip(curve, curve[1:]))

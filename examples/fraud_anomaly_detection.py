@@ -1,0 +1,69 @@
+"""Domain scenario 2 — transaction anomaly detection (the paper's D-task rows).
+
+Detection datasets (Mammography, Thyroid, SMTP in Table I) are heavily
+imbalanced: a few percent of samples violate a hidden relationship between
+indicators. FastFT's job is to construct the ratio/difference features that
+expose the violation, lifting the AUC of a plain random-forest detector.
+
+The script also contrasts FastFT with OpenFE (the strongest non-RL baseline
+on detection rows) on both AUC and wall time — the Fig 9 trade-off in
+miniature.
+
+Run:  python examples/fraud_anomaly_detection.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines import OpenFE
+from repro.core import FastFT, FastFTConfig
+from repro.data import load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("mammography", scale=0.08, seed=0)
+    positives = int(dataset.y.sum())
+    print(
+        f"Detection dataset: {dataset.n_samples} samples, "
+        f"{positives} anomalies ({100 * positives / dataset.n_samples:.1f}%)"
+    )
+
+    config = FastFTConfig(
+        episodes=8,
+        steps_per_episode=5,
+        cold_start_episodes=2,
+        retrain_every_episodes=2,
+        component_epochs=4,
+        cv_splits=3,
+        rf_estimators=8,
+        seed=0,
+    )
+    start = time.perf_counter()
+    fastft = FastFT(config).fit(
+        dataset.X, dataset.y, task="detection", feature_names=dataset.feature_names
+    )
+    fastft_time = time.perf_counter() - start
+
+    openfe = OpenFE(cv_splits=3, rf_estimators=8, seed=0).fit(
+        dataset.X, dataset.y, task="detection", feature_names=dataset.feature_names
+    )
+
+    print("\nMethod    AUC      wall(s)")
+    print(f"base      {fastft.base_score:.3f}    -")
+    print(f"OpenFE    {openfe.best_score:.3f}    {openfe.wall_time:.1f}")
+    print(f"FastFT    {fastft.best_score:.3f}    {fastft_time:.1f}")
+
+    print("\nDetector features FastFT constructed:")
+    new_features = [e for e in fastft.expressions() if "(" in e]
+    for expr in new_features[:6]:
+        print(f"  {expr}")
+
+    # The plan generalizes: apply to a freshly sampled slice of the stream.
+    fresh = load_dataset("mammography", scale=0.04, seed=99)
+    transformed = fastft.transform(fresh.X)
+    print(f"\nPlan re-applied to a new batch: {transformed.shape[0]}x{transformed.shape[1]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: reinforced feature transformation in ~20 lines.
+
+Runs FastFT on a synthetic version of the paper's OpenML-589 regression
+dataset, prints the score improvement, the time breakdown, and the traceable
+formulas of the best discovered features.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import FastFT, FastFTConfig
+from repro.data import load_dataset
+
+
+def main() -> None:
+    # A laptop-scale slice of the paper's OpenML-589 regression task.
+    dataset = load_dataset("openml_589", scale=0.25, seed=0)
+    print(f"Dataset: {dataset.name} ({dataset.n_samples}x{dataset.n_features}, {dataset.task})")
+
+    config = FastFTConfig(
+        episodes=8,
+        steps_per_episode=5,
+        cold_start_episodes=2,
+        retrain_every_episodes=2,
+        component_epochs=4,
+        cv_splits=3,
+        rf_estimators=8,
+        seed=0,
+        verbose=True,
+    )
+    result = FastFT(config).fit(
+        dataset.X, dataset.y, task=dataset.task, feature_names=dataset.feature_names
+    )
+
+    print(f"\nBase 1-RAE      : {result.base_score:.4f}")
+    print(f"FastFT 1-RAE    : {result.best_score:.4f}  (+{result.improvement:.4f})")
+    print(f"Downstream calls: {result.n_downstream_calls}")
+    print(
+        "Time (s)        : "
+        f"optimization={result.time.optimization:.1f} "
+        f"estimation={result.time.estimation:.1f} "
+        f"evaluation={result.time.evaluation:.1f}"
+    )
+
+    print("\nDiscovered features (traceable formulas):")
+    generated = [e for e in result.expressions() if "(" in e]
+    for expr in generated[:8]:
+        print(f"  {expr}")
+
+    # The fitted plan re-applies to new data with the same columns.
+    transformed = result.transform(dataset.X)
+    print(f"\nTransformed matrix: {transformed.shape[0]}x{transformed.shape[1]}")
+
+
+if __name__ == "__main__":
+    main()

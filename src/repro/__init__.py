@@ -1,0 +1,31 @@
+"""FastFT reproduction: reinforced feature transformation with advanced exploration.
+
+This package is a from-scratch, laptop-scale reproduction of
+
+    "FastFT: Accelerating Reinforced Feature Transformation via Advanced
+    Exploration Strategies" (ICDE 2025)
+
+including every substrate the paper depends on:
+
+- :mod:`repro.ml`   — downstream tabular models and metrics (sklearn stand-in)
+- :mod:`repro.nn`   — reverse-mode autodiff, LSTM/RNN/Transformer (torch stand-in)
+- :mod:`repro.rl`   — actor-critic and DQN-family agents, prioritized replay
+- :mod:`repro.data` — seeded synthetic versions of the paper's 23 datasets
+- :mod:`repro.core` — the FastFT framework itself
+- :mod:`repro.baselines` — the 10 comparison methods of Table I
+- :mod:`repro.experiments` — harnesses regenerating every table and figure
+
+Quickstart::
+
+    from repro.core import FastFT, FastFTConfig
+    from repro.data import load_dataset
+
+    ds = load_dataset("wine_quality_red", scale=0.5, seed=0)
+    ft = FastFT(FastFTConfig(episodes=12, steps_per_episode=6, seed=0))
+    result = ft.fit(ds.X, ds.y, task=ds.task)
+    X_new = result.transform(ds.X)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,106 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``transform``    run FastFT on a registry dataset and print the discovered plan
+``experiments``  regenerate the paper's tables/figures (delegates to run_all)
+``datasets``     list the 23 registered Table I datasets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.data import DATASET_SPECS
+
+    print(f"{'name':20s} {'source':10s} {'task':14s} {'samples':>8s} {'features':>8s}")
+    for spec in DATASET_SPECS.values():
+        if args.task and spec.task != args.task:
+            continue
+        print(
+            f"{spec.name:20s} {spec.source:10s} {spec.task:14s} "
+            f"{spec.n_samples:8d} {spec.n_features:8d}"
+        )
+    return 0
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    from repro.core import FastFT, FastFTConfig
+    from repro.data import load_dataset
+
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    config = FastFTConfig(
+        episodes=args.episodes,
+        steps_per_episode=args.steps,
+        cold_start_episodes=max(1, args.episodes // 4),
+        retrain_every_episodes=2,
+        component_epochs=4,
+        cv_splits=args.cv,
+        rf_estimators=8,
+        seed=args.seed,
+        verbose=args.verbose,
+    )
+    result = FastFT(config).fit(
+        dataset.X, dataset.y, task=dataset.task, feature_names=dataset.feature_names
+    )
+    print(f"dataset   : {dataset.name} ({dataset.n_samples}x{dataset.n_features}, {dataset.task})")
+    print(f"score     : {result.base_score:.4f} -> {result.best_score:.4f}")
+    print(f"downstream: {result.n_downstream_calls} calls, "
+          f"eval {result.time.evaluation:.1f}s / est {result.time.estimation:.1f}s / "
+          f"opt {result.time.optimization:.1f}s")
+    print("plan      :")
+    for expr in result.expressions():
+        print(f"  {expr}")
+    if args.save_plan:
+        with open(args.save_plan, "w") as fh:
+            fh.write(result.plan.to_json())
+        print(f"plan saved to {args.save_plan}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.run_all import EXPERIMENTS, run_experiments
+
+    names = args.only if args.only else list(EXPERIMENTS)
+    run_experiments(names, profile_name=args.profile, out_dir=args.out, seed=args.seed)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_data = sub.add_parser("datasets", help="list registered datasets")
+    p_data.add_argument("--task", choices=["classification", "regression", "detection"])
+    p_data.set_defaults(func=_cmd_datasets)
+
+    p_tr = sub.add_parser("transform", help="run FastFT on a registry dataset")
+    p_tr.add_argument("dataset")
+    p_tr.add_argument("--scale", type=float, default=0.2)
+    p_tr.add_argument("--episodes", type=int, default=8)
+    p_tr.add_argument("--steps", type=int, default=5)
+    p_tr.add_argument("--cv", type=int, default=3)
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument("--save-plan", default=None, help="write the plan JSON here")
+    p_tr.add_argument("--verbose", action="store_true")
+    p_tr.set_defaults(func=_cmd_transform)
+
+    p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p_exp.add_argument("--profile", choices=["smoke", "default", "full"], default="smoke")
+    p_exp.add_argument("--out", default="reports")
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--only", nargs="*", default=None)
+    p_exp.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""AFT — autofeat-style iterative generation and selection (Table I baseline 4).
+
+Each round: (1) generate a candidate pool by applying unary operations to the
+current features and binary operations to relevant pairs; (2) select the
+candidates whose mutual information with the target is high while their
+redundancy against already-kept features is low (the autofeat library's
+"minimize redundancy, optimize exploration" loop); (3) keep the round only if
+the downstream score improves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import FeatureTransformBaseline
+from repro.core.operations import BINARY_OPERATIONS, UNARY_OPERATIONS
+from repro.core.sequence import FeatureSpace, TransformationPlan
+from repro.ml.evaluation import DownstreamEvaluator
+from repro.ml.mutual_info import mutual_info_features, mutual_info_with_target
+from repro.ml.preprocessing import sanitize_features
+
+__all__ = ["AFT"]
+
+
+class AFT(FeatureTransformBaseline):
+    """Iterative generate-select with MI relevance / redundancy filtering."""
+
+    name = "AFT"
+
+    def __init__(
+        self,
+        n_rounds: int = 4,
+        candidates_per_round: int = 24,
+        keep_per_round: int = 6,
+        redundancy_threshold: float = 0.7,
+        cv_splits: int = 5,
+        rf_estimators: int = 10,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(cv_splits, rf_estimators, seed)
+        self.n_rounds = n_rounds
+        self.candidates_per_round = candidates_per_round
+        self.keep_per_round = keep_per_round
+        self.redundancy_threshold = redundancy_threshold
+
+    def _generate_candidates(
+        self, space: FeatureSpace, y: np.ndarray, task: str, rng: np.random.Generator
+    ) -> list[int]:
+        live = space.live_ids
+        relevance = mutual_info_with_target(sanitize_features(space.matrix()), y, task=task)
+        ranked = [live[i] for i in np.argsort(-relevance)]
+        top = ranked[: max(3, len(ranked) // 2)]
+        new_ids: list[int] = []
+        budget = self.candidates_per_round
+        while len(new_ids) < budget:
+            if rng.random() < 0.5:
+                op = UNARY_OPERATIONS[int(rng.integers(0, len(UNARY_OPERATIONS)))]
+                head = top[int(rng.integers(0, len(top)))]
+                new_ids.extend(space.apply_unary(op.name, [head]))
+            else:
+                op = BINARY_OPERATIONS[int(rng.integers(0, len(BINARY_OPERATIONS)))]
+                h = top[int(rng.integers(0, len(top)))]
+                t = ranked[int(rng.integers(0, len(ranked)))]
+                new_ids.extend(space.apply_binary(op.name, [h], [t]))
+        return new_ids[:budget]
+
+    def _select(
+        self,
+        space: FeatureSpace,
+        candidate_ids: list[int],
+        keep_ids: list[int],
+        y: np.ndarray,
+        task: str,
+    ) -> list[int]:
+        """Greedy mRMR-style pick: high target-MI, low redundancy vs kept."""
+        if not candidate_ids:
+            return []
+        cand_matrix = sanitize_features(space.matrix(candidate_ids))
+        relevance = mutual_info_with_target(cand_matrix, y, task=task)
+        order = np.argsort(-relevance)
+        selected: list[int] = []
+        for idx in order:
+            if len(selected) >= self.keep_per_round:
+                break
+            fid = candidate_ids[idx]
+            values = space.values(fid)
+            redundant = False
+            for kept in selected + keep_ids[-8:]:
+                mi = mutual_info_features(values, space.values(kept))
+                if mi > self.redundancy_threshold:
+                    redundant = True
+                    break
+            if not redundant:
+                selected.append(fid)
+        return selected
+
+    def _search(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        task: str,
+        feature_names: list[str] | None,
+        evaluator: DownstreamEvaluator,
+        base_score: float,
+    ) -> tuple[float, TransformationPlan, dict]:
+        rng = np.random.default_rng(self.seed)
+        space = FeatureSpace(X, feature_names)
+        keep_ids = list(space.original_ids)
+        best_score = base_score
+        best_plan = space.snapshot()
+
+        for _ in range(self.n_rounds):
+            candidates = self._generate_candidates(space, y, task, rng)
+            selected = self._select(space, candidates, keep_ids, y, task)
+            trial_ids = keep_ids + selected
+            space.prune(trial_ids)
+            score = evaluator(space.matrix(), y)
+            if score > best_score:
+                best_score = score
+                best_plan = space.snapshot()
+                keep_ids = trial_ids
+            else:
+                space.prune(keep_ids)
+        return best_score, best_plan, {}

@@ -1,0 +1,117 @@
+"""Shared baseline protocol and helpers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.operations import BINARY_OPERATIONS, UNARY_OPERATIONS, Operation
+from repro.core.sequence import FeatureSpace, TransformationPlan
+from repro.ml.evaluation import DownstreamEvaluator, default_model_for_task
+from repro.ml.preprocessing import sanitize_features
+
+__all__ = ["BaselineResult", "FeatureTransformBaseline", "random_transform_step"]
+
+
+@dataclass
+class BaselineResult:
+    """Uniform result record across all Table I methods."""
+
+    name: str
+    base_score: float
+    best_score: float
+    plan: TransformationPlan
+    wall_time: float
+    n_evaluations: int
+    extra: dict = field(default_factory=dict)
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        return self.plan.apply(X)
+
+    @property
+    def improvement(self) -> float:
+        return self.best_score - self.base_score
+
+
+class FeatureTransformBaseline:
+    """Base class: evaluator plumbing, timing, and the fit() contract."""
+
+    name = "baseline"
+
+    def __init__(
+        self,
+        cv_splits: int = 5,
+        rf_estimators: int = 10,
+        seed: int | None = 0,
+    ) -> None:
+        self.cv_splits = cv_splits
+        self.rf_estimators = rf_estimators
+        self.seed = seed
+
+    def _make_evaluator(self, task: str) -> DownstreamEvaluator:
+        return DownstreamEvaluator(
+            task,
+            model=default_model_for_task(task, n_estimators=self.rf_estimators, seed=self.seed),
+            n_splits=self.cv_splits,
+            seed=self.seed,
+        )
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        task: str = "classification",
+        feature_names: list[str] | None = None,
+    ) -> BaselineResult:
+        """Template method: times the subclass search and packages the result."""
+        X = sanitize_features(np.asarray(X, dtype=float))
+        y = np.asarray(y)
+        evaluator = self._make_evaluator(task)
+        start = time.perf_counter()
+        base_score = evaluator(X, y)
+        best_score, plan, extra = self._search(X, y, task, feature_names, evaluator, base_score)
+        wall = time.perf_counter() - start + float(extra.pop("simulated_latency", 0.0))
+        return BaselineResult(
+            name=self.name,
+            base_score=base_score,
+            best_score=best_score,
+            plan=plan,
+            wall_time=wall,
+            n_evaluations=evaluator.n_calls,
+            extra=extra,
+        )
+
+    def _search(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        task: str,
+        feature_names: list[str] | None,
+        evaluator: DownstreamEvaluator,
+        base_score: float,
+    ) -> tuple[float, TransformationPlan, dict]:
+        raise NotImplementedError
+
+
+def random_transform_step(
+    space: FeatureSpace,
+    rng: np.random.Generator,
+    max_new: int = 4,
+    unary_ops: list[Operation] | None = None,
+    binary_ops: list[Operation] | None = None,
+) -> list[int]:
+    """Apply one uniformly random operation to random live features."""
+    unary_ops = unary_ops or UNARY_OPERATIONS
+    binary_ops = binary_ops or BINARY_OPERATIONS
+    live = space.live_ids
+    if rng.random() < len(unary_ops) / (len(unary_ops) + len(binary_ops)):
+        op = unary_ops[int(rng.integers(0, len(unary_ops)))]
+        heads = [live[i] for i in rng.choice(len(live), size=min(max_new, len(live)), replace=False)]
+        return space.apply_unary(op.name, heads)
+    op = binary_ops[int(rng.integers(0, len(binary_ops)))]
+    n_pick = min(2, len(live))
+    heads = [live[int(rng.integers(0, len(live)))]]
+    tails = [live[int(rng.integers(0, len(live)))]]
+    return space.apply_binary(op.name, heads, tails, max_new=max_new, rng=rng)

@@ -1,0 +1,141 @@
+"""DIFER — differentiable automated feature engineering (Table I baseline 7).
+
+Following Zhu et al. (AutoML-Conf 2022): transformation sequences are embedded
+into a continuous space by an LSTM encoder; a predictor regresses downstream
+performance from the embedding; search then proceeds in the learned space and
+decodes back to features. Our faithful compact version: (1) collect a corpus
+of random ⟨sequence, score⟩ pairs, (2) train the encoder-predictor, (3) run a
+greedy hill-climb that mutates the best sequences and keeps predictor-ranked
+candidates, evaluating only the top ones downstream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import FeatureTransformBaseline
+from repro.core.operations import BINARY_OPERATIONS, OPERATION_NAMES, UNARY_OPERATIONS
+from repro.core.predictor import PerformancePredictor
+from repro.core.sequence import FeatureSpace, TransformationPlan
+from repro.core.tokens import TokenVocabulary
+from repro.ml.evaluation import DownstreamEvaluator
+
+__all__ = ["DIFER"]
+
+_Step = tuple[str, int, int | None]  # (op, head original col, tail original col | None)
+
+
+class DIFER(FeatureTransformBaseline):
+    """Embed → predict → greedy search over transformation programs."""
+
+    name = "DIFER"
+
+    def __init__(
+        self,
+        corpus_size: int = 16,
+        program_length: int = 3,
+        search_rounds: int = 4,
+        mutations_per_round: int = 12,
+        evaluate_top: int = 2,
+        predictor_epochs: int = 8,
+        cv_splits: int = 5,
+        rf_estimators: int = 10,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(cv_splits, rf_estimators, seed)
+        self.corpus_size = corpus_size
+        self.program_length = program_length
+        self.search_rounds = search_rounds
+        self.mutations_per_round = mutations_per_round
+        self.evaluate_top = evaluate_top
+        self.predictor_epochs = predictor_epochs
+
+    # -- programs ------------------------------------------------------------
+
+    def _random_program(self, d: int, rng: np.random.Generator) -> list[_Step]:
+        program: list[_Step] = []
+        for _ in range(self.program_length):
+            if rng.random() < 0.5:
+                op = UNARY_OPERATIONS[int(rng.integers(0, len(UNARY_OPERATIONS)))]
+                program.append((op.name, int(rng.integers(0, d)), None))
+            else:
+                op = BINARY_OPERATIONS[int(rng.integers(0, len(BINARY_OPERATIONS)))]
+                program.append((op.name, int(rng.integers(0, d)), int(rng.integers(0, d))))
+        return program
+
+    def _mutate(self, program: list[_Step], d: int, rng: np.random.Generator) -> list[_Step]:
+        mutated = list(program)
+        slot = int(rng.integers(0, len(mutated)))
+        mutated[slot] = self._random_program(d, rng)[0]
+        return mutated
+
+    def _execute(
+        self, program: list[_Step], X: np.ndarray, feature_names: list[str] | None
+    ) -> FeatureSpace:
+        space = FeatureSpace(X, feature_names)
+        originals = list(space.original_ids)
+        for op_name, head, tail in program:
+            if tail is None:
+                space.apply_unary(op_name, [originals[head]])
+            else:
+                space.apply_binary(op_name, [originals[head]], [originals[tail]])
+        return space
+
+    def _tokens(self, program: list[_Step], vocab: TokenVocabulary) -> np.ndarray:
+        body: list[int] = []
+        for op_name, head, tail in program:
+            body.extend(vocab.step_tokens(op_name, [head], [tail] if tail is not None else None))
+        return vocab.finalize(body)
+
+    # -- search ----------------------------------------------------------------
+
+    def _search(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        task: str,
+        feature_names: list[str] | None,
+        evaluator: DownstreamEvaluator,
+        base_score: float,
+    ) -> tuple[float, TransformationPlan, dict]:
+        rng = np.random.default_rng(self.seed)
+        d = X.shape[1]
+        vocab = TokenVocabulary(OPERATION_NAMES, n_feature_slots=max(64, d))
+
+        # Stage 1: corpus of random programs with measured scores.
+        corpus: list[tuple[list[_Step], float]] = []
+        best_score, best_plan = base_score, FeatureSpace(X, feature_names).snapshot()
+        for _ in range(self.corpus_size):
+            program = self._random_program(d, rng)
+            space = self._execute(program, X, feature_names)
+            score = evaluator(space.matrix(), y)
+            corpus.append((program, score))
+            if score > best_score:
+                best_score, best_plan = score, space.snapshot()
+
+        # Stage 2: encoder-predictor over the embedding space.
+        predictor = PerformancePredictor(
+            len(vocab), seq_model="lstm", embed_dim=16, hidden_dim=16, num_layers=1,
+            head_dims=(8, 1), seed=self.seed,
+        )
+        sequences = [self._tokens(p, vocab) for p, _ in corpus]
+        scores = np.array([s for _, s in corpus])
+        predictor.fit(sequences, scores, epochs=self.predictor_epochs, rng=rng)
+
+        # Stage 3: predictor-guided greedy hill-climb.
+        for _ in range(self.search_rounds):
+            corpus.sort(key=lambda item: item[1], reverse=True)
+            seeds = [p for p, _ in corpus[:3]]
+            candidates = [self._mutate(seeds[int(rng.integers(0, len(seeds)))], d, rng)
+                          for _ in range(self.mutations_per_round)]
+            predicted = predictor.predict_batch([self._tokens(c, vocab) for c in candidates])
+            ranked = np.argsort(-predicted)[: self.evaluate_top]
+            for idx in ranked:
+                program = candidates[int(idx)]
+                space = self._execute(program, X, feature_names)
+                score = evaluator(space.matrix(), y)
+                corpus.append((program, score))
+                if score > best_score:
+                    best_score, best_plan = score, space.snapshot()
+
+        return best_score, best_plan, {"corpus_size": len(corpus)}

@@ -1,0 +1,85 @@
+"""ERG — expansion-reduction generation (Table I baseline 2).
+
+Expand: apply every unary operation to every feature and a budget of binary
+crossings over the most label-relevant pairs. Reduce: keep the top-k features
+by mutual information with the target. One downstream evaluation at the end
+(plus the baseline evaluation) — cheap but blind, which is why it trails the
+iterative methods in Table I.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import FeatureTransformBaseline
+from repro.core.operations import BINARY_OPERATIONS, UNARY_OPERATIONS
+from repro.core.sequence import FeatureSpace, TransformationPlan
+from repro.ml.evaluation import DownstreamEvaluator
+from repro.ml.mutual_info import mutual_info_with_target
+from repro.ml.preprocessing import sanitize_features
+
+__all__ = ["ERG"]
+
+
+class ERG(FeatureTransformBaseline):
+    """Expand with all operations, select by MI, evaluate once."""
+
+    name = "ERG"
+
+    def __init__(
+        self,
+        keep_factor: float = 2.0,
+        binary_pair_budget: int = 32,
+        cv_splits: int = 5,
+        rf_estimators: int = 10,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(cv_splits, rf_estimators, seed)
+        if keep_factor <= 0:
+            raise ValueError("keep_factor must be positive")
+        self.keep_factor = keep_factor
+        self.binary_pair_budget = binary_pair_budget
+
+    def _search(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        task: str,
+        feature_names: list[str] | None,
+        evaluator: DownstreamEvaluator,
+        base_score: float,
+    ) -> tuple[float, TransformationPlan, dict]:
+        rng = np.random.default_rng(self.seed)
+        space = FeatureSpace(X, feature_names)
+        originals = list(space.original_ids)
+
+        # Expansion: every unary op on every original feature.
+        for op in UNARY_OPERATIONS:
+            space.apply_unary(op.name, originals)
+
+        # Binary crossings over the most relevant original pairs.
+        relevance = mutual_info_with_target(X, y, task=task)
+        ranked = np.argsort(-relevance)
+        pairs = []
+        for i in range(len(ranked)):
+            for j in range(i + 1, len(ranked)):
+                pairs.append((originals[ranked[i]], originals[ranked[j]]))
+        if len(pairs) > self.binary_pair_budget:
+            chosen = rng.choice(len(pairs), size=self.binary_pair_budget, replace=False)
+            pairs = [pairs[i] for i in chosen]
+        for op in BINARY_OPERATIONS:
+            for h, t in pairs:
+                space.apply_binary(op.name, [h], [t])
+
+        # Reduction: keep top-k by MI with the target.
+        matrix = sanitize_features(space.matrix())
+        expanded_relevance = mutual_info_with_target(matrix, y, task=task)
+        keep_n = max(X.shape[1], int(self.keep_factor * X.shape[1]))
+        live = space.live_ids
+        keep = [live[i] for i in np.argsort(-expanded_relevance)[:keep_n]]
+        space.prune(keep)
+
+        score = evaluator(space.matrix(), y)
+        if score >= base_score:
+            return score, space.snapshot(), {}
+        return base_score, FeatureSpace(X, feature_names).snapshot(), {"fell_back": True}

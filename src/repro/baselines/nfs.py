@@ -1,0 +1,121 @@
+"""NFS — neural feature search (Table I baseline 5).
+
+Following Chen et al. (ICDM 2019): an RNN controller emits, for every
+original feature, a short pipeline of unary transformations (or a binary
+crossing with another feature); the transformed dataset is evaluated and the
+controller is trained with REINFORCE on the downstream score. We parameterize
+the controller with our numpy RNN substrate and a per-slot softmax head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import FeatureTransformBaseline
+from repro.core.operations import OPERATIONS
+from repro.core.sequence import FeatureSpace, TransformationPlan
+from repro.ml.evaluation import DownstreamEvaluator
+from repro.nn.layers import Linear
+from repro.nn.optim import Adam
+from repro.nn.recurrent import RNNEncoder
+from repro.nn.tensor import Tensor, log_softmax
+
+__all__ = ["NFS"]
+
+_NOOP = len(OPERATIONS)  # extra action: leave the feature unchanged
+
+
+class NFS(FeatureTransformBaseline):
+    """RNN controller + REINFORCE over per-feature transformation pipelines."""
+
+    name = "NFS"
+
+    def __init__(
+        self,
+        n_epochs: int = 8,
+        pipeline_length: int = 2,
+        lr: float = 5e-3,
+        hidden: int = 32,
+        cv_splits: int = 5,
+        rf_estimators: int = 10,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(cv_splits, rf_estimators, seed)
+        self.n_epochs = n_epochs
+        self.pipeline_length = pipeline_length
+        self.lr = lr
+        self.hidden = hidden
+
+    def _controller_logits(self, encoder, head, d: int) -> Tensor:
+        """Encode the feature-index sequence; head scores every action slot."""
+        tokens = np.arange(1, d + 1, dtype=np.int64).reshape(1, -1)
+        context = encoder(tokens)  # (1, hidden)
+        return head(context).reshape(self.pipeline_length * d, _NOOP + 1)
+
+    def _apply_pipeline(
+        self, X: np.ndarray, feature_names: list[str] | None, actions: np.ndarray,
+        rng: np.random.Generator,
+    ) -> FeatureSpace:
+        space = FeatureSpace(X, feature_names)
+        originals = list(space.original_ids)
+        d = len(originals)
+        current = list(originals)
+        for slot in range(self.pipeline_length):
+            for j in range(d):
+                action = int(actions[slot * d + j])
+                if action == _NOOP:
+                    continue
+                op = OPERATIONS[action]
+                if op.arity == 1:
+                    new = space.apply_unary(op.name, [current[j]])
+                else:
+                    partner = current[int(rng.integers(0, d))]
+                    new = space.apply_binary(op.name, [current[j]], [partner])
+                if new:
+                    current[j] = new[0]
+        return space
+
+    def _search(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        task: str,
+        feature_names: list[str] | None,
+        evaluator: DownstreamEvaluator,
+        base_score: float,
+    ) -> tuple[float, TransformationPlan, dict]:
+        rng = np.random.default_rng(self.seed)
+        d = X.shape[1]
+        encoder = RNNEncoder(
+            vocab_size=d + 1, embed_dim=16, hidden_dim=self.hidden, num_layers=1, seed=self.seed
+        )
+        head = Linear(self.hidden, self.pipeline_length * d * (_NOOP + 1))
+        optimizer = Adam(list(encoder.parameters()) + list(head.parameters()), lr=self.lr)
+
+        best_score = base_score
+        best_plan = FeatureSpace(X, feature_names).snapshot()
+        baseline_reward = base_score
+
+        for _ in range(self.n_epochs):
+            logits = self._controller_logits(encoder, head, d)
+            logp = log_softmax(logits, axis=1)
+            probs = np.exp(logp.data)
+            actions = np.array(
+                [rng.choice(_NOOP + 1, p=probs[i] / probs[i].sum()) for i in range(len(probs))]
+            )
+            space = self._apply_pipeline(X, feature_names, actions, rng)
+            score = evaluator(space.matrix(), y)
+            if score > best_score:
+                best_score = score
+                best_plan = space.snapshot()
+
+            # REINFORCE with a moving-average baseline.
+            advantage = score - baseline_reward
+            baseline_reward = 0.8 * baseline_reward + 0.2 * score
+            optimizer.zero_grad()
+            picked = logp[np.arange(len(actions)), actions]
+            loss = -(picked.mean() * float(advantage))
+            loss.backward()
+            optimizer.step()
+
+        return best_score, best_plan, {}

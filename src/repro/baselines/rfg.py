@@ -1,0 +1,80 @@
+"""RFG — random feature generation (Table I baseline 1) and RDG (Table III).
+
+RFG repeatedly applies random operations to random candidate features,
+evaluates the grown set after every round, and keeps the best-scoring state.
+Its instability and limited exploration are exactly what the paper contrasts
+against: no learning signal steers the choice of operation or operands.
+
+RDG is the Table III variant with a smaller round budget (random *direct*
+generation in the GRFG lineage's terminology).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import FeatureTransformBaseline, random_transform_step
+from repro.core.sequence import FeatureSpace, TransformationPlan
+from repro.ml.evaluation import DownstreamEvaluator
+from repro.ml.mutual_info import mutual_info_with_target
+from repro.ml.preprocessing import sanitize_features
+
+__all__ = ["RFG", "RDG"]
+
+
+class RFG(FeatureTransformBaseline):
+    """Random generation with per-round evaluation and feature-count capping."""
+
+    name = "RFG"
+
+    def __init__(
+        self,
+        n_rounds: int = 20,
+        steps_per_round: int = 3,
+        max_features_factor: int = 3,
+        cv_splits: int = 5,
+        rf_estimators: int = 10,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(cv_splits, rf_estimators, seed)
+        self.n_rounds = n_rounds
+        self.steps_per_round = steps_per_round
+        self.max_features_factor = max_features_factor
+
+    def _search(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        task: str,
+        feature_names: list[str] | None,
+        evaluator: DownstreamEvaluator,
+        base_score: float,
+    ) -> tuple[float, TransformationPlan, dict]:
+        rng = np.random.default_rng(self.seed)
+        space = FeatureSpace(X, feature_names)
+        cap = self.max_features_factor * X.shape[1]
+        best_score = base_score
+        best_plan = space.snapshot()
+        for _ in range(self.n_rounds):
+            for _ in range(self.steps_per_round):
+                random_transform_step(space, rng)
+            if space.n_features > cap:
+                matrix = sanitize_features(space.matrix())
+                relevance = mutual_info_with_target(matrix, y, task=task)
+                live = space.live_ids
+                keep = [live[i] for i in np.argsort(-relevance)[:cap]]
+                space.prune(keep)
+            score = evaluator(space.matrix(), y)
+            if score > best_score:
+                best_score = score
+                best_plan = space.snapshot()
+        return best_score, best_plan, {}
+
+
+class RDG(RFG):
+    """Random direct generation: the smaller-budget Table III variant."""
+
+    name = "RDG"
+
+    def __init__(self, n_rounds: int = 10, **kwargs) -> None:
+        super().__init__(n_rounds=n_rounds, **kwargs)

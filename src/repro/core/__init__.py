@@ -1,0 +1,65 @@
+"""FastFT core: the paper's primary contribution.
+
+Public API::
+
+    from repro.core import FastFT, FastFTConfig
+
+    result = FastFT(FastFTConfig(episodes=20, steps_per_episode=8)).fit(X, y, task)
+    X_star = result.transform(X)          # T*(F) -> F*
+    result.expressions()                   # traceable formulas
+    result.time                            # Table II buckets
+"""
+
+from repro.core.agents import CascadingAgents, StepDecision
+from repro.core.clustering import cluster_features, pairwise_cluster_distance
+from repro.core.config import FastFTConfig
+from repro.core.engine import FastFT, FastFTResult, StepRecord, TimeBreakdown
+from repro.core.novelty import NoveltyEstimator, novelty_distance
+from repro.core.operations import (
+    BINARY_OPERATIONS,
+    OPERATION_NAMES,
+    OPERATIONS,
+    UNARY_OPERATIONS,
+    Operation,
+    get_operation,
+)
+from repro.core.predictor import PerformancePredictor, SequenceRegressor
+from repro.core.reward import NoveltyWeightSchedule, downstream_reward, pseudo_reward
+from repro.core.sequence import FeatureNode, FeatureSpace, TransformationPlan
+from repro.core.state import STATE_DIM, describe_matrix, rep_operation
+from repro.core.tokens import TokenVocabulary
+from repro.core.tracing import feature_importance_table, reward_peak_features
+
+__all__ = [
+    "FastFT",
+    "FastFTConfig",
+    "FastFTResult",
+    "StepRecord",
+    "TimeBreakdown",
+    "CascadingAgents",
+    "StepDecision",
+    "FeatureSpace",
+    "FeatureNode",
+    "TransformationPlan",
+    "TokenVocabulary",
+    "Operation",
+    "OPERATIONS",
+    "OPERATION_NAMES",
+    "UNARY_OPERATIONS",
+    "BINARY_OPERATIONS",
+    "get_operation",
+    "PerformancePredictor",
+    "SequenceRegressor",
+    "NoveltyEstimator",
+    "novelty_distance",
+    "NoveltyWeightSchedule",
+    "downstream_reward",
+    "pseudo_reward",
+    "cluster_features",
+    "pairwise_cluster_distance",
+    "describe_matrix",
+    "rep_operation",
+    "STATE_DIM",
+    "feature_importance_table",
+    "reward_peak_features",
+]

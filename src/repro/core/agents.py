@@ -1,0 +1,239 @@
+"""Cascading reinforcement agents (Definition 3, §III-B, Fig 3d).
+
+Three agents act in sequence each exploration step:
+
+1. **Head agent** — picks the head feature cluster from
+   ``π_h(Rep(C_i) ⊕ Rep(F̂))``.
+2. **Operation agent** — picks o ∈ O from ``π_o(Rep(a_h) ⊕ Rep(F̂))``.
+3. **Tail agent** — for binary o, picks the tail cluster from
+   ``π_t(Rep(a_h) ⊕ Rep(F̂) ⊕ Rep(o) ⊕ Rep(C_i))``.
+
+Each agent owns a learner (Actor-Critic by default; DQN family for the
+Fig 7 ablation) and a replay buffer (TD-prioritized by default; uniform for
+the −RCT ablation). All three share the step reward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import STATE_DIM, rep_operation
+from repro.rl.dqn import make_learner
+from repro.rl.replay import PrioritizedReplayBuffer, ReplayBuffer, Transition
+
+__all__ = ["CascadingAgents", "StepDecision"]
+
+
+class StepDecision:
+    """The three cascaded choices of one exploration step, with the state
+    vectors needed to build replay transitions afterwards."""
+
+    __slots__ = (
+        "head_index",
+        "op_index",
+        "tail_index",
+        "head_state",
+        "op_state",
+        "tail_state",
+        "cluster_reps",
+        "op_candidates",
+    )
+
+    def __init__(self) -> None:
+        self.head_index: int | None = None
+        self.op_index: int | None = None
+        self.tail_index: int | None = None
+        self.head_state: np.ndarray | None = None
+        self.op_state: np.ndarray | None = None
+        self.tail_state: np.ndarray | None = None
+        self.cluster_reps: np.ndarray | None = None
+        self.op_candidates: np.ndarray | None = None
+
+
+class CascadingAgents:
+    """Bundle of the three learners + buffers with a shared optimize step."""
+
+    def __init__(
+        self,
+        n_ops: int,
+        framework: str = "actor_critic",
+        hidden: int = 64,
+        lr: float = 1e-3,
+        gamma: float = 0.95,
+        entropy_coef: float = 0.01,
+        memory_size: int = 16,
+        replay_batch_size: int = 8,
+        prioritized: bool = True,
+        per_alpha: float = 0.6,
+        per_beta: float = 0.4,
+        seed: int | None = 0,
+    ) -> None:
+        self.n_ops = n_ops
+        self.replay_batch_size = replay_batch_size
+        base = 0 if seed is None else seed
+
+        def build(role: int, state_dim: int, candidate_dim: int):
+            kwargs: dict = {"hidden": hidden, "lr": lr, "gamma": gamma}
+            if framework in ("actor_critic", "ac"):
+                kwargs["entropy_coef"] = entropy_coef
+            return make_learner(
+                framework,
+                state_dim,
+                candidate_dim,
+                seed=None if seed is None else base + role,
+                **kwargs,
+            )
+
+        # State layouts (see module docstring).
+        self.head = build(1, STATE_DIM, STATE_DIM)
+        self.op = build(2, 2 * STATE_DIM, n_ops)
+        self.tail = build(3, 2 * STATE_DIM + n_ops, STATE_DIM)
+
+        def buffer(role: int):
+            buffer_seed = None if seed is None else base + 10 + role
+            if prioritized:
+                return PrioritizedReplayBuffer(
+                    memory_size, alpha=per_alpha, beta=per_beta, seed=buffer_seed
+                )
+            return ReplayBuffer(memory_size, seed=buffer_seed)
+
+        self.buffers = {"head": buffer(1), "op": buffer(2), "tail": buffer(3)}
+        self._learners = {"head": self.head, "op": self.op, "tail": self.tail}
+
+    # -- acting -----------------------------------------------------------------
+
+    def decide(
+        self,
+        overall_rep: np.ndarray,
+        cluster_reps: np.ndarray,
+        is_binary: "callable",
+        greedy: bool = False,
+    ) -> StepDecision:
+        """Run the cascade: head → operation → (tail if binary).
+
+        ``is_binary(op_index) -> bool`` lets the caller keep the operation
+        table; the tail agent only runs for binary operations.
+        """
+        cluster_reps = np.atleast_2d(cluster_reps)
+        decision = StepDecision()
+        decision.cluster_reps = cluster_reps
+
+        decision.head_state = overall_rep
+        decision.head_index = self.head.select(overall_rep, cluster_reps, greedy=greedy)
+        head_rep = cluster_reps[decision.head_index]
+
+        decision.op_state = np.concatenate([overall_rep, head_rep])
+        decision.op_candidates = np.eye(self.n_ops)
+        decision.op_index = self.op.select(
+            decision.op_state, decision.op_candidates, greedy=greedy
+        )
+
+        if is_binary(decision.op_index):
+            op_onehot = rep_operation(decision.op_index, self.n_ops)
+            decision.tail_state = np.concatenate([overall_rep, head_rep, op_onehot])
+            decision.tail_index = self.tail.select(
+                decision.tail_state, cluster_reps, greedy=greedy
+            )
+        return decision
+
+    # -- remembering -----------------------------------------------------------------
+
+    def store(
+        self,
+        decision: StepDecision,
+        reward: float,
+        next_overall_rep: np.ndarray,
+        next_cluster_reps: np.ndarray,
+        done: bool,
+        payload_extra: dict | None = None,
+    ) -> float:
+        """Store one transition per participating agent; returns the mean
+        |TD error| used as the step's priority (Eq. 10)."""
+        next_cluster_reps = np.atleast_2d(next_cluster_reps)
+        head_rep = decision.cluster_reps[decision.head_index]
+        zeros_like_overall = np.zeros(STATE_DIM)
+        extra = payload_extra or {}
+
+        transitions = []
+        transitions.append(
+            (
+                "head",
+                Transition(
+                    state=decision.head_state,
+                    action_vec=head_rep,
+                    reward=reward,
+                    next_state=next_overall_rep,
+                    next_candidates=next_cluster_reps,
+                    done=done,
+                    payload={
+                        "candidates": decision.cluster_reps,
+                        "action_index": decision.head_index,
+                        **extra,
+                    },
+                ),
+            )
+        )
+        op_next_state = np.concatenate([next_overall_rep, zeros_like_overall])
+        transitions.append(
+            (
+                "op",
+                Transition(
+                    state=decision.op_state,
+                    action_vec=decision.op_candidates[decision.op_index],
+                    reward=reward,
+                    next_state=op_next_state,
+                    next_candidates=decision.op_candidates,
+                    done=done,
+                    payload={
+                        "candidates": decision.op_candidates,
+                        "action_index": decision.op_index,
+                        **extra,
+                    },
+                ),
+            )
+        )
+        if decision.tail_index is not None:
+            tail_next_state = np.concatenate(
+                [next_overall_rep, zeros_like_overall, np.zeros(self.n_ops)]
+            )
+            transitions.append(
+                (
+                    "tail",
+                    Transition(
+                        state=decision.tail_state,
+                        action_vec=decision.cluster_reps[decision.tail_index],
+                        reward=reward,
+                        next_state=tail_next_state,
+                        next_candidates=next_cluster_reps,
+                        done=done,
+                        payload={
+                            "candidates": decision.cluster_reps,
+                            "action_index": decision.tail_index,
+                            **extra,
+                        },
+                    ),
+                )
+            )
+
+        errors = []
+        for role, transition in transitions:
+            delta = self._learners[role].td_error(transition)
+            self.buffers[role].add(transition, priority=abs(delta))
+            errors.append(abs(delta))
+        return float(np.mean(errors))
+
+    # -- learning -----------------------------------------------------------------
+
+    def optimize(self) -> dict[str, float]:
+        """One replay-driven update per agent whose buffer has a batch."""
+        losses: dict[str, float] = {}
+        for role, learner in self._learners.items():
+            buf = self.buffers[role]
+            if len(buf) < min(self.replay_batch_size, buf.capacity):
+                continue
+            batch, indices, weights = buf.sample(self.replay_batch_size)
+            out = learner.update(batch, weights)
+            buf.update_priorities(indices, out["td_errors"])
+            losses[f"{role}_critic"] = out["critic_loss"]
+            losses[f"{role}_actor"] = out["actor_loss"]
+        return losses

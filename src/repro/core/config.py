@@ -1,0 +1,107 @@
+"""FastFT configuration: every hyper-parameter of §V plus ablation toggles.
+
+Paper defaults: 200 episodes × 15 steps, cold start ends at episode 10,
+components re-train every 5 episodes, α=10 (performance percentile), β=5
+(novelty percentile), novelty weight 0.1→0.005 over M=1000 steps, replay
+size S=16, LSTM(2 layers, emb 32) predictor with FC(16,1) head, novelty
+estimator FC(16,4,1) with orthogonal gain 16.
+
+The defaults below are the paper's; tests and benches pass scaled-down
+profiles (fewer episodes/steps, smaller forests) via keyword overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FastFTConfig"]
+
+
+@dataclass
+class FastFTConfig:
+    # -- exploration schedule (§V Hyperparameter 1) --
+    episodes: int = 200
+    steps_per_episode: int = 15
+    cold_start_episodes: int = 10
+    retrain_every_episodes: int = 5
+    component_epochs: int = 20
+
+    # -- adaptive downstream triggering (§III-D) --
+    # α: top-percentile of predicted performance that triggers real evaluation.
+    # β: top-percentile of novelty that triggers real evaluation.
+    alpha: float = 10.0
+    beta: float = 5.0
+    trigger_window: int = 256
+    trigger_warmup: int = 8  # min window length before percentiles apply
+
+    # -- novelty reward schedule (Eq. 6) --
+    novelty_weight_start: float = 0.10
+    novelty_weight_end: float = 0.005
+    novelty_decay_steps: int = 1000
+
+    # -- prioritized experience replay (§V Hyperparameter 2, Eq. 10) --
+    memory_size: int = 16
+    replay_batch_size: int = 8
+    per_alpha: float = 0.6
+    per_beta: float = 0.4
+
+    # -- evaluation components (§V Hyperparameters 3 & 4) --
+    seq_model: str = "lstm"  # lstm | rnn | transformer (Fig 8)
+    embed_dim: int = 32
+    hidden_dim: int = 32
+    encoder_layers: int = 2
+    predictor_head_dims: tuple[int, ...] = (16, 1)
+    novelty_head_dims: tuple[int, ...] = (16, 4, 1)
+    orthogonal_gain: float = 16.0
+    component_lr: float = 1e-3
+    max_seq_len: int = 96
+    eval_record_cap: int = 256
+
+    # -- cascading agents --
+    rl_framework: str = "actor_critic"  # + dqn / double_dqn / dueling_(double_)dqn (Fig 7)
+    agent_hidden: int = 64
+    agent_lr: float = 1e-3
+    gamma: float = 0.95
+    entropy_coef: float = 0.01
+
+    # -- feature space management --
+    max_features: int | None = None  # default: max(3 × original, original + 8)
+    max_new_per_step: int = 12
+    cluster_threshold: float | str = "auto"
+    max_clusters: int | None = 8
+    mi_bins: int = 8
+    mi_max_rows: int = 256
+    feature_slots: int = 512
+
+    # -- downstream oracle --
+    cv_splits: int = 5
+    rf_estimators: int = 10
+    rf_max_depth: int | None = 8
+
+    # -- ablation toggles (Fig 6) --
+    use_performance_predictor: bool = True  # False → FastFT−PP
+    use_novelty: bool = True  # False → FastFT−NE
+    prioritized_replay: bool = True  # False → FastFT−RCT
+
+    # -- misc --
+    seed: int | None = 0
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.episodes < 1 or self.steps_per_episode < 1:
+            raise ValueError("episodes and steps_per_episode must be >= 1")
+        if not 0 <= self.cold_start_episodes <= self.episodes:
+            raise ValueError("cold_start_episodes must lie within [0, episodes]")
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("alpha and beta must be non-negative percentiles")
+        if self.novelty_decay_steps < 1:
+            raise ValueError("novelty_decay_steps must be >= 1")
+        if self.memory_size < 1:
+            raise ValueError("memory_size must be >= 1")
+        if self.seq_model not in ("lstm", "rnn", "transformer"):
+            raise ValueError("seq_model must be lstm, rnn or transformer")
+
+    def resolved_max_features(self, n_original: int) -> int:
+        if self.max_features is not None:
+            return max(self.max_features, n_original)
+        return max(3 * n_original, n_original + 8)

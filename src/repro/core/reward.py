@@ -1,0 +1,55 @@
+"""Reward construction (Equations 5 and 6).
+
+Cold start:      r_i = A(T_i(F), y) − A(T_{i−1}(F), y)
+Exploration:     r_i = (φ(T_i) − φ(T_{i−1})) + ε_i · (ψ(T_i) − ψ⊥(T_i))²
+with the novelty weight decaying exponentially from ε_s to ε_e over M steps:
+
+    ε_i = ε_e + (ε_s − ε_e) · e^{−i/M}
+
+so the agent explores novel sequences first and high-quality ones later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoveltyWeightSchedule", "downstream_reward", "pseudo_reward"]
+
+
+@dataclass(frozen=True)
+class NoveltyWeightSchedule:
+    """ε_i schedule of Eq. 6 (paper defaults: 0.1 → 0.005 over M=1000)."""
+
+    start: float = 0.10
+    end: float = 0.005
+    decay_steps: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.decay_steps < 1:
+            raise ValueError("decay_steps must be >= 1")
+        if self.start < 0 or self.end < 0:
+            raise ValueError("weights must be non-negative")
+
+    def weight(self, step: int) -> float:
+        if step < 0:
+            raise ValueError("step must be non-negative")
+        return self.end + (self.start - self.end) * float(np.exp(-step / self.decay_steps))
+
+
+def downstream_reward(current_score: float, previous_score: float) -> float:
+    """Eq. 5: improvement of the real downstream metric."""
+    return current_score - previous_score
+
+
+def pseudo_reward(
+    predicted_current: float,
+    predicted_previous: float,
+    novelty: float,
+    novelty_weight: float,
+) -> float:
+    """Eq. 6: estimated performance delta plus weighted novelty."""
+    if novelty < 0:
+        raise ValueError("novelty score must be non-negative")
+    return (predicted_current - predicted_previous) + novelty_weight * novelty

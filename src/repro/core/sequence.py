@@ -1,0 +1,295 @@
+"""Traceable feature space: expression trees + executable transformation plans.
+
+Every feature — original or generated — is a node with a provenance record.
+This gives FastFT the paper's traceability property (Table IV, Fig 15): each
+generated column can be printed as an explicit formula over the original
+features, and a fitted plan can be re-applied to unseen data.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.operations import get_operation
+from repro.ml.preprocessing import sanitize_features
+
+__all__ = ["FeatureNode", "TransformationPlan", "FeatureSpace"]
+
+
+@dataclass(frozen=True)
+class FeatureNode:
+    """Provenance of a single feature.
+
+    ``op`` is ``None`` for original input columns (then ``source_col`` is the
+    column index); otherwise ``children`` holds the operand feature ids.
+    """
+
+    fid: int
+    op: str | None = None
+    children: tuple[int, ...] = ()
+    source_col: int | None = None
+
+
+@dataclass
+class TransformationPlan:
+    """A frozen, re-applicable transformation: nodes + the live feature ids.
+
+    Applying a plan to a matrix with the same column count reproduces the
+    transformed feature set on new data (the ``T*(F) -> F*`` of Eq. 1).
+    """
+
+    nodes: dict[int, FeatureNode]
+    live_ids: list[int]
+    n_input_columns: int
+    feature_names: list[str]
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate every live feature on ``X`` (memoized recursion)."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_input_columns:
+            raise ValueError(
+                f"Plan was fitted on {self.n_input_columns} columns, got {X.shape}"
+            )
+        cache: dict[int, np.ndarray] = {}
+
+        def evaluate(fid: int) -> np.ndarray:
+            if fid in cache:
+                return cache[fid]
+            node = self.nodes[fid]
+            if node.op is None:
+                value = X[:, node.source_col]
+            else:
+                operands = [evaluate(c) for c in node.children]
+                value = get_operation(node.op)(*operands)
+            cache[fid] = value
+            return value
+
+        return sanitize_features(np.column_stack([evaluate(fid) for fid in self.live_ids]))
+
+    def expression(self, fid: int) -> str:
+        """Infix formula of a feature in terms of the original columns."""
+        node = self.nodes[fid]
+        if node.op is None:
+            return self.feature_names[node.source_col]
+        operands = [self.expression(c) for c in node.children]
+        return get_operation(node.op).format(*operands)
+
+    def expressions(self) -> list[str]:
+        return [self.expression(fid) for fid in self.live_ids]
+
+    @property
+    def n_features(self) -> int:
+        return len(self.live_ids)
+
+    def to_json(self) -> str:
+        """Serialize the plan (nodes + live set) to a JSON string."""
+        payload = {
+            "n_input_columns": self.n_input_columns,
+            "feature_names": self.feature_names,
+            "live_ids": self.live_ids,
+            "nodes": [
+                {
+                    "fid": node.fid,
+                    "op": node.op,
+                    "children": list(node.children),
+                    "source_col": node.source_col,
+                }
+                for node in self.nodes.values()
+            ],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, data: str) -> "TransformationPlan":
+        """Rebuild a plan serialized by :meth:`to_json`."""
+        payload = json.loads(data)
+        nodes = {
+            int(raw["fid"]): FeatureNode(
+                fid=int(raw["fid"]),
+                op=raw["op"],
+                children=tuple(int(c) for c in raw["children"]),
+                source_col=raw["source_col"],
+            )
+            for raw in payload["nodes"]
+        }
+        plan = cls(
+            nodes=nodes,
+            live_ids=[int(i) for i in payload["live_ids"]],
+            n_input_columns=int(payload["n_input_columns"]),
+            feature_names=list(payload["feature_names"]),
+        )
+        missing = [fid for fid in plan.live_ids if fid not in nodes]
+        if missing:
+            raise ValueError(f"Serialized plan references unknown features: {missing}")
+        return plan
+
+
+class FeatureSpace:
+    """The evolving feature set F̂ during one episode.
+
+    Maintains the value matrix, the provenance registry and the live-column
+    ordering; supports group-wise crossing (§III-B) and importance pruning.
+    """
+
+    def __init__(self, X: np.ndarray, feature_names: list[str] | None = None) -> None:
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        self.n_input_columns = X.shape[1]
+        self.feature_names = (
+            list(feature_names)
+            if feature_names is not None
+            else [f"f{j + 1}" for j in range(X.shape[1])]
+        )
+        if len(self.feature_names) != X.shape[1]:
+            raise ValueError("feature_names length mismatch")
+        self._nodes: dict[int, FeatureNode] = {}
+        self._columns: dict[int, np.ndarray] = {}
+        self._live: list[int] = []
+        self._next_fid = 0
+        for j in range(X.shape[1]):
+            fid = self._allocate(FeatureNode(fid=0, op=None, source_col=j), X[:, j])
+            self._live.append(fid)
+        self._original_ids = tuple(self._live)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _allocate(self, node: FeatureNode, values: np.ndarray) -> int:
+        fid = self._next_fid
+        self._next_fid += 1
+        self._nodes[fid] = FeatureNode(
+            fid=fid, op=node.op, children=node.children, source_col=node.source_col
+        )
+        self._columns[fid] = sanitize_features(values.reshape(-1, 1)).ravel()
+        return fid
+
+    @property
+    def live_ids(self) -> list[int]:
+        return list(self._live)
+
+    @property
+    def original_ids(self) -> tuple[int, ...]:
+        return self._original_ids
+
+    @property
+    def n_features(self) -> int:
+        return len(self._live)
+
+    @property
+    def n_samples(self) -> int:
+        return len(next(iter(self._columns.values())))
+
+    def matrix(self, fids: list[int] | None = None) -> np.ndarray:
+        """Value matrix of the given (default: live) features."""
+        fids = self._live if fids is None else fids
+        return np.column_stack([self._columns[f] for f in fids])
+
+    def values(self, fid: int) -> np.ndarray:
+        return self._columns[fid]
+
+    # -- transformation ----------------------------------------------------------
+
+    def _is_duplicate(self, op_name: str, children: tuple[int, ...]) -> bool:
+        """True when a live feature already carries this exact derivation."""
+        for fid in self._live:
+            node = self._nodes[fid]
+            if node.op == op_name and node.children == children:
+                return True
+        return False
+
+    def apply_unary(self, op_name: str, head_ids: list[int]) -> list[int]:
+        """Apply a unary op to each head feature; returns new feature ids.
+
+        Exact re-derivations of live features are skipped (the paper's
+        'replacing useless features' behaviour starts with not duplicating)."""
+        op = get_operation(op_name)
+        if op.arity != 1:
+            raise ValueError(f"{op_name} is not unary")
+        new_ids = []
+        for h in head_ids:
+            if self._is_duplicate(op_name, (h,)):
+                continue
+            values = op(self._columns[h])
+            fid = self._allocate(FeatureNode(fid=0, op=op_name, children=(h,)), values)
+            self._live.append(fid)
+            new_ids.append(fid)
+        return new_ids
+
+    def apply_binary(
+        self,
+        op_name: str,
+        head_ids: list[int],
+        tail_ids: list[int],
+        max_new: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> list[int]:
+        """Group-wise crossing: op(h, t) for the |a_h|×|a_t| product.
+
+        ``max_new`` caps the fan-out by sampling pairs (the sequence and the
+        feature set would otherwise grow quadratically in cluster size).
+        """
+        op = get_operation(op_name)
+        if op.arity != 2:
+            raise ValueError(f"{op_name} is not binary")
+        commutative = op_name in ("add", "multiply")
+        pairs = [(h, t) for h in head_ids for t in tail_ids if h != t]
+        if not pairs:
+            pairs = [(h, t) for h in head_ids for t in tail_ids]
+        if commutative:
+            # (a+b) and (b+a) are the same feature; canonicalize and dedup.
+            pairs = list(dict.fromkeys((min(h, t), max(h, t)) for h, t in pairs))
+        if max_new is not None and len(pairs) > max_new:
+            rng = rng or np.random.default_rng()
+            chosen = rng.choice(len(pairs), size=max_new, replace=False)
+            pairs = [pairs[i] for i in chosen]
+        new_ids = []
+        for h, t in pairs:
+            if self._is_duplicate(op_name, (h, t)):
+                continue
+            values = op(self._columns[h], self._columns[t])
+            fid = self._allocate(FeatureNode(fid=0, op=op_name, children=(h, t)), values)
+            self._live.append(fid)
+            new_ids.append(fid)
+        return new_ids
+
+    def prune(self, keep_ids: list[int]) -> None:
+        """Restrict the live set (original features may also be dropped,
+        matching the paper's 'replacing useless features' behaviour); the
+        provenance registry keeps every ancestor so plans stay executable."""
+        keep = [f for f in keep_ids if f in self._nodes]
+        if not keep:
+            raise ValueError("Cannot prune to an empty feature set")
+        self._live = keep
+
+    # -- traceability --------------------------------------------------------------
+
+    def expression(self, fid: int) -> str:
+        node = self._nodes[fid]
+        if node.op is None:
+            return self.feature_names[node.source_col]
+        operands = [self.expression(c) for c in node.children]
+        return get_operation(node.op).format(*operands)
+
+    def snapshot(self) -> TransformationPlan:
+        """Freeze the current live set into a re-applicable plan."""
+        needed: dict[int, FeatureNode] = {}
+
+        def collect(fid: int) -> None:
+            if fid in needed:
+                return
+            node = self._nodes[fid]
+            needed[fid] = node
+            for c in node.children:
+                collect(c)
+
+        for fid in self._live:
+            collect(fid)
+        return TransformationPlan(
+            nodes=dict(needed),
+            live_ids=list(self._live),
+            n_input_columns=self.n_input_columns,
+            feature_names=list(self.feature_names),
+        )

@@ -1,0 +1,60 @@
+"""State representations Rep(C), Rep(F̂), Rep(o) (Fig 4 of the paper).
+
+Following the GRFG-lineage convention the paper cites, a feature cluster (or
+the whole feature set) is summarized by *descriptive statistics of
+descriptive statistics*: seven column statistics are computed per feature,
+then the same seven statistics are computed across features for each of the
+seven rows, yielding a fixed 49-dimensional vector regardless of the number
+of features or samples. Operations are one-hot encoded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["STATE_DIM", "describe_matrix", "rep_operation"]
+
+STATE_DIM = 49
+
+
+def _seven_stats(values: np.ndarray, axis: int) -> np.ndarray:
+    """[mean, std, min, 25%, 50%, 75%, max] along ``axis``."""
+    return np.stack(
+        [
+            np.mean(values, axis=axis),
+            np.std(values, axis=axis),
+            np.min(values, axis=axis),
+            np.percentile(values, 25, axis=axis),
+            np.percentile(values, 50, axis=axis),
+            np.percentile(values, 75, axis=axis),
+            np.max(values, axis=axis),
+        ]
+    )
+
+
+def describe_matrix(X: np.ndarray) -> np.ndarray:
+    """49-dim describe-of-describe state vector, signed-log compressed.
+
+    The signed log keeps the vector bounded no matter how explosive the
+    generated features are (e.g. after ``exp`` chains), which the policy
+    networks need for stable training.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.size == 0:
+        raise ValueError("Empty matrix has no state representation")
+    X = np.nan_to_num(X, nan=0.0, posinf=1e12, neginf=-1e12)
+    per_column = _seven_stats(X, axis=0)  # (7, n_features)
+    summary = _seven_stats(per_column, axis=1)  # (7, 7)
+    flat = summary.ravel()
+    return np.sign(flat) * np.log1p(np.abs(flat))
+
+
+def rep_operation(op_index: int, n_ops: int) -> np.ndarray:
+    """One-hot Rep(o) over the fixed-size operation set."""
+    if not 0 <= op_index < n_ops:
+        raise ValueError(f"op_index {op_index} out of range [0, {n_ops})")
+    onehot = np.zeros(n_ops)
+    onehot[op_index] = 1.0
+    return onehot

@@ -1,0 +1,88 @@
+"""Token vocabulary for feature-transformation sequences (Definition 4).
+
+A sequence token is a feature, an operation, or a special token (start, end,
+separator) — see Fig 2 of the paper. The vocabulary is fixed-size so the
+LSTM encoders can embed it: feature tokens occupy a budget of slots and
+generated features map onto slots modulo the budget (feature identity churn
+is bounded by the engine's pruning cap, so collisions are rare in practice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TokenVocabulary"]
+
+
+class TokenVocabulary:
+    """Bidirectional token mapping: specials + operations + feature slots."""
+
+    PAD = 0
+    SOS = 1
+    EOS = 2
+    SEP = 3
+    _N_SPECIAL = 4
+
+    def __init__(self, operation_names: list[str], n_feature_slots: int = 256) -> None:
+        if n_feature_slots < 1:
+            raise ValueError("n_feature_slots must be >= 1")
+        if len(set(operation_names)) != len(operation_names):
+            raise ValueError("Duplicate operation names")
+        self.operation_names = list(operation_names)
+        self.n_feature_slots = n_feature_slots
+        self._op_index = {name: i for i, name in enumerate(self.operation_names)}
+        self._feat_offset = self._N_SPECIAL + len(self.operation_names)
+
+    def __len__(self) -> int:
+        return self._feat_offset + self.n_feature_slots
+
+    def op_token(self, name: str) -> int:
+        try:
+            return self._N_SPECIAL + self._op_index[name]
+        except KeyError:
+            raise KeyError(f"Unknown operation {name!r}") from None
+
+    def feature_token(self, feature_id: int) -> int:
+        if feature_id < 0:
+            raise ValueError("feature_id must be non-negative")
+        return self._feat_offset + (feature_id % self.n_feature_slots)
+
+    def describe(self, token: int) -> str:
+        """Human-readable token name (debugging / tests)."""
+        if token == self.PAD:
+            return "<pad>"
+        if token == self.SOS:
+            return "<sos>"
+        if token == self.EOS:
+            return "<eos>"
+        if token == self.SEP:
+            return "<sep>"
+        if self._N_SPECIAL <= token < self._feat_offset:
+            return self.operation_names[token - self._N_SPECIAL]
+        if self._feat_offset <= token < len(self):
+            return f"f[{token - self._feat_offset}]"
+        raise ValueError(f"Token {token} outside vocabulary of size {len(self)}")
+
+    def step_tokens(
+        self, op_name: str, head_ids: list[int], tail_ids: list[int] | None = None
+    ) -> list[int]:
+        """Tokens appended for one group-wise crossing step.
+
+        Encoded as ``head... op tail... SEP`` which compresses the
+        per-feature segments of Fig 2 into one group-wise segment (the
+        sequence would otherwise grow with |a_h|×|a_t|).
+        """
+        tokens = [self.feature_token(h) for h in head_ids]
+        tokens.append(self.op_token(op_name))
+        if tail_ids:
+            tokens.extend(self.feature_token(t) for t in tail_ids)
+        tokens.append(self.SEP)
+        return tokens
+
+    def finalize(self, body: list[int], max_len: int | None = None) -> np.ndarray:
+        """Wrap a token body with SOS/EOS, truncating the *oldest* steps
+        when the sequence exceeds ``max_len``."""
+        tokens = [self.SOS, *body, self.EOS]
+        if max_len is not None and len(tokens) > max_len:
+            tokens = [self.SOS, *tokens[len(tokens) - max_len + 1 : -1], self.EOS]
+        return np.asarray(tokens, dtype=np.int64)

@@ -1,0 +1,74 @@
+"""Traceability analyses: feature importance tables and reward-peak reports.
+
+Backs Table IV (top-10 importances on original vs transformed Wine Quality
+Red, with explicit formulas) and Fig 15 (distinct features generated at
+reward-function peaks on Cardiovascular).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.engine import FastFTResult, StepRecord
+from repro.ml.evaluation import default_model_for_task
+from repro.ml.preprocessing import sanitize_features
+
+__all__ = ["ImportanceRow", "feature_importance_table", "reward_peak_features"]
+
+
+@dataclass(frozen=True)
+class ImportanceRow:
+    """One row of a Table IV-style importance listing."""
+
+    expression: str
+    importance: float
+
+
+def feature_importance_table(
+    X: np.ndarray,
+    y: np.ndarray,
+    task: str,
+    expressions: list[str],
+    top_k: int = 10,
+    seed: int | None = 0,
+) -> list[ImportanceRow]:
+    """Fit the task's default forest and rank features by impurity importance.
+
+    ``expressions`` are the traceable formulas aligned with X's columns; the
+    returned rows pair each top-k formula with its importance score.
+    """
+    X = sanitize_features(np.asarray(X, dtype=float))
+    if X.shape[1] != len(expressions):
+        raise ValueError("expressions must align with X's columns")
+    model = default_model_for_task(task, n_estimators=20, seed=seed)
+    model.fit(X, y)
+    importances = model.feature_importances_
+    order = np.argsort(-importances)[:top_k]
+    return [ImportanceRow(expressions[i], float(importances[i])) for i in order]
+
+
+def reward_peak_features(
+    result: FastFTResult, top_k: int = 5, max_expressions_per_peak: int = 3
+) -> list[dict]:
+    """Fig 15: the distinct features generated at the highest-reward steps.
+
+    Returns one record per peak with the step coordinates, the reward, and
+    up to ``max_expressions_per_peak`` formulas created at that step.
+    """
+    peaks: list[StepRecord] = result.reward_peaks(top_k)
+    out = []
+    for record in peaks:
+        out.append(
+            {
+                "episode": record.episode,
+                "step": record.step,
+                "global_step": record.global_step,
+                "reward": record.reward,
+                "score": record.score,
+                "novelty": record.novelty,
+                "expressions": record.new_expressions[:max_expressions_per_peak],
+            }
+        )
+    return out

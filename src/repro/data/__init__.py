@@ -1,0 +1,23 @@
+"""Dataset substrate: seeded synthetic equivalents of the paper's 23 datasets.
+
+The original evaluation uses public tabular datasets (Kaggle, UCI, LibSVM,
+OpenML, AutoML) that are unavailable offline. Each named dataset here is a
+deterministic generator matching the paper's task type and (scaled) shape,
+whose target depends on *hidden interactions* of the observed features —
+products, ratios, logs — which is precisely the structure feature
+transformation methods compete to recover. See DESIGN.md §2 for the
+substitution argument.
+"""
+
+from repro.data.registry import DATASET_SPECS, Dataset, dataset_names, load_dataset
+from repro.data.synthesis import make_classification, make_detection, make_regression
+
+__all__ = [
+    "Dataset",
+    "DATASET_SPECS",
+    "dataset_names",
+    "load_dataset",
+    "make_classification",
+    "make_regression",
+    "make_detection",
+]

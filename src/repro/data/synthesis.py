@@ -1,0 +1,154 @@
+"""Synthetic tabular-task generators with interaction-structured targets.
+
+Every generator draws a matrix of heterogeneous base features and builds the
+target from a latent score composed of pairwise/triple interactions drawn
+from the same algebra as FastFT's operation set (products, ratios, logs,
+squares). A method that discovers the right feature crossings can therefore
+linearize the problem — exactly the premise of the paper's search task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatentInteraction", "make_classification", "make_regression", "make_detection"]
+
+
+@dataclass(frozen=True)
+class LatentInteraction:
+    """One term of the hidden score: ``weight * form(x_i, x_j)``."""
+
+    form: str
+    i: int
+    j: int
+    weight: float
+
+    def evaluate(self, X: np.ndarray) -> np.ndarray:
+        a, b = X[:, self.i], X[:, self.j]
+        if self.form == "product":
+            value = a * b
+        elif self.form == "ratio":
+            value = a / (np.abs(b) + 1.0)
+        elif self.form == "log_product":
+            value = np.log1p(np.abs(a)) * b
+        elif self.form == "square_sum":
+            value = (a + b) ** 2
+        elif self.form == "diff_square":
+            value = (a - b) ** 2
+        else:
+            raise ValueError(f"Unknown interaction form {self.form!r}")
+        return self.weight * value
+
+
+_FORMS = ("product", "ratio", "log_product", "square_sum", "diff_square")
+
+
+def _base_features(rng: np.random.Generator, n_samples: int, n_features: int) -> np.ndarray:
+    """Heterogeneous columns: normal, lognormal, uniform, integer-ish."""
+    X = np.empty((n_samples, n_features))
+    for j in range(n_features):
+        kind = j % 4
+        if kind == 0:
+            X[:, j] = rng.normal(0.0, 1.0, n_samples)
+        elif kind == 1:
+            X[:, j] = rng.lognormal(0.0, 0.5, n_samples) - 1.0
+        elif kind == 2:
+            X[:, j] = rng.uniform(-2.0, 2.0, n_samples)
+        else:
+            X[:, j] = rng.integers(0, 6, n_samples).astype(float) - 2.5
+    return X
+
+
+def _latent_terms(
+    rng: np.random.Generator, n_features: int, n_informative: int, n_terms: int
+) -> list[LatentInteraction]:
+    informative = rng.choice(n_features, size=min(n_informative, n_features), replace=False)
+    terms = []
+    for _ in range(n_terms):
+        i, j = rng.choice(informative, size=2, replace=len(informative) < 2)
+        form = _FORMS[int(rng.integers(0, len(_FORMS)))]
+        weight = float(rng.uniform(0.5, 1.5)) * (1 if rng.random() < 0.5 else -1)
+        terms.append(LatentInteraction(form, int(i), int(j), weight))
+    return terms
+
+
+def _latent_score(X: np.ndarray, terms: list[LatentInteraction]) -> np.ndarray:
+    score = np.zeros(X.shape[0])
+    for term in terms:
+        value = term.evaluate(X)
+        std = value.std()
+        score += value / (std if std > 0 else 1.0)
+    return score
+
+
+def make_classification(
+    n_samples: int,
+    n_features: int,
+    n_classes: int = 2,
+    n_informative: int | None = None,
+    n_terms: int | None = None,
+    noise: float = 0.3,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Classes are quantile bins of a noisy interaction score (balanced)."""
+    if n_classes < 2:
+        raise ValueError("n_classes must be >= 2")
+    rng = np.random.default_rng(seed)
+    n_informative = n_informative or max(2, n_features // 2)
+    n_terms = n_terms or max(2, n_informative // 2)
+    X = _base_features(rng, n_samples, n_features)
+    score = _latent_score(X, _latent_terms(rng, n_features, n_informative, n_terms))
+    score += rng.normal(0.0, noise * max(score.std(), 1e-9), n_samples)
+    edges = np.quantile(score, np.linspace(0, 1, n_classes + 1)[1:-1])
+    y = np.searchsorted(edges, score)
+    return X, y.astype(np.int64)
+
+
+def make_regression(
+    n_samples: int,
+    n_features: int,
+    n_informative: int | None = None,
+    n_terms: int | None = None,
+    noise: float = 0.2,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Target is the interaction score plus Gaussian noise, rescaled to ~N(0,1)."""
+    rng = np.random.default_rng(seed)
+    n_informative = n_informative or max(2, n_features // 2)
+    n_terms = n_terms or max(2, n_informative // 2)
+    X = _base_features(rng, n_samples, n_features)
+    score = _latent_score(X, _latent_terms(rng, n_features, n_informative, n_terms))
+    y = score + rng.normal(0.0, noise * max(score.std(), 1e-9), n_samples)
+    std = y.std()
+    return X, (y - y.mean()) / (std if std > 0 else 1.0)
+
+
+def make_detection(
+    n_samples: int,
+    n_features: int,
+    contamination: float = 0.08,
+    n_informative: int | None = None,
+    noise: float = 0.45,
+    seed: int | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Anomaly detection: inliers satisfy a hidden interaction constraint.
+
+    Inliers obey ``x_0 ≈ mix of interactions of other columns``; anomalies
+    violate it by a sampled offset. The ratio/difference features FastFT can
+    construct make the violation linearly separable.
+    """
+    if not 0.0 < contamination < 0.5:
+        raise ValueError("contamination must be in (0, 0.5)")
+    rng = np.random.default_rng(seed)
+    n_informative = n_informative or max(2, n_features // 2)
+    X = _base_features(rng, n_samples, n_features)
+    terms = _latent_terms(rng, n_features, n_informative, max(1, n_informative // 2))
+    # Keep x_0 tied to the constraint: overwrite it with the score + noise.
+    score = _latent_score(X[:, 1:], [LatentInteraction(t.form, t.i % (n_features - 1), t.j % (n_features - 1), t.weight) for t in terms]) if n_features > 1 else np.zeros(n_samples)
+    X[:, 0] = score + rng.normal(0.0, noise, n_samples)
+    y = (rng.random(n_samples) < contamination).astype(np.int64)
+    offsets = rng.choice([-1.0, 1.0], size=n_samples) * rng.uniform(1.0, 2.2, n_samples)
+    X[y == 1, 0] += offsets[y == 1] * max(score.std(), 1.0) * (0.5 + noise)
+    return X, y

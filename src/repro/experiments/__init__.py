@@ -1,0 +1,26 @@
+"""Experiment harnesses: one module per table/figure of the paper's evaluation.
+
+Every module exposes ``run(profile, seed) -> dict`` (the raw series/rows) and
+``format_report(data) -> str`` (the paper-style text rendering). The
+``benchmarks/`` tree calls these with the scaled-down ``SMOKE``/``DEFAULT``
+profiles; passing ``FULL`` reproduces the paper's settings (hours of compute).
+"""
+
+from repro.experiments.profiles import DEFAULT, FULL, SMOKE, RunProfile
+from repro.experiments.harness import (
+    make_baseline,
+    make_fastft_config,
+    run_baseline_on_dataset,
+    run_fastft_on_dataset,
+)
+
+__all__ = [
+    "RunProfile",
+    "SMOKE",
+    "DEFAULT",
+    "FULL",
+    "make_fastft_config",
+    "make_baseline",
+    "run_fastft_on_dataset",
+    "run_baseline_on_dataset",
+]

@@ -1,0 +1,72 @@
+"""Fig 10 — scalability: runtime vs dataset size for FastFT / OpenFE / CAAFE.
+
+Sweeps the synthetic registry's ``scale`` knob on one classification dataset
+and measures each framework's wall time. The paper's shape: CAAFE pays a
+large constant (LLM) cost; OpenFE's per-candidate downstream evaluation
+blows up with size; FastFT grows the slowest thanks to the predictor.
+"""
+
+from __future__ import annotations
+
+from repro.data import load_dataset
+from repro.experiments.harness import make_baseline, run_fastft_on_dataset
+from repro.experiments.profiles import DEFAULT, RunProfile
+from repro.experiments.reporting import format_table
+
+__all__ = ["run", "format_report"]
+
+
+def run(
+    profile: RunProfile = DEFAULT,
+    seed: int = 0,
+    dataset_name: str = "cardiovascular",
+    scales: list[float] | None = None,
+    methods: list[str] | None = None,
+) -> dict:
+    scales = scales or [0.05, 0.1, 0.2]
+    methods = methods or ["fastft", "openfe", "caafe"]
+    sizes: list[int] = []
+    times: dict[str, list[float]] = {m: [] for m in methods}
+    scores: dict[str, list[float]] = {m: [] for m in methods}
+
+    for scale in scales:
+        dataset = load_dataset(
+            dataset_name, scale=scale, seed=seed, max_samples=profile.max_samples * 4
+        )
+        sizes.append(dataset.n_samples * dataset.n_features)
+        for method in methods:
+            if method == "fastft":
+                result, wall = run_fastft_on_dataset(dataset, profile, seed=seed)
+                times[method].append(wall)
+                scores[method].append(result.best_score)
+            else:
+                baseline = make_baseline(method, profile, seed=seed)
+                res = baseline.fit(
+                    dataset.X, dataset.y, task=dataset.task, feature_names=dataset.feature_names
+                )
+                times[method].append(res.wall_time)
+                scores[method].append(res.best_score)
+    return {
+        "dataset": dataset_name,
+        "scales": scales,
+        "sizes": sizes,
+        "methods": methods,
+        "times": times,
+        "scores": scores,
+        "profile": profile.name,
+    }
+
+
+def format_report(data: dict) -> str:
+    headers = ["Size (#s×#f)"] + [f"{m} time(s)" for m in data["methods"]]
+    rows = []
+    for i, size in enumerate(data["sizes"]):
+        row = [f"{size:,}"]
+        for method in data["methods"]:
+            row.append(f"{data['times'][method][i]:.1f}")
+        rows.append(row)
+    return format_table(
+        headers,
+        rows,
+        title=f"Fig 10 — runtime scalability on {data['dataset']} (profile={data['profile']})",
+    )

@@ -1,0 +1,70 @@
+"""Fig 13 — hyper-parameter study: novelty weight, decay steps, memory size.
+
+Sweeps ε_s (novelty reward start weight), M (decay steps) and S (prioritized
+memory size) and reports final scores. The paper's findings reproduced here:
+performance is stable across reasonable settings, and *small* memories beat
+large ones (key memories stay fresh).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import load_profile_dataset, run_fastft_on_dataset
+from repro.experiments.profiles import DEFAULT, RunProfile
+from repro.experiments.reporting import format_table
+
+__all__ = ["run", "format_report"]
+
+
+def run(
+    profile: RunProfile = DEFAULT,
+    seed: int = 0,
+    datasets: list[str] | None = None,
+    novelty_weights: list[float] | None = None,
+    decay_steps: list[int] | None = None,
+    memory_sizes: list[int] | None = None,
+) -> dict:
+    datasets = datasets or ["wine_quality_red", "openml_589"]
+    novelty_weights = novelty_weights or [0.01, 0.05, 0.10, 0.50]
+    decay_steps = decay_steps or [100, 1000, 5000]
+    memory_sizes = memory_sizes or [8, 16, 32, 64]
+
+    sweeps: dict[str, dict[str, list[dict]]] = {"epsilon_s": {}, "decay_M": {}, "memory_S": {}}
+    for ds_name in datasets:
+        dataset = load_profile_dataset(ds_name, profile, seed=seed)
+
+        sweeps["epsilon_s"][ds_name] = []
+        for weight in novelty_weights:
+            result, _ = run_fastft_on_dataset(
+                dataset, profile, seed=seed, novelty_weight_start=weight
+            )
+            sweeps["epsilon_s"][ds_name].append({"value": weight, "score": result.best_score})
+
+        sweeps["decay_M"][ds_name] = []
+        for steps in decay_steps:
+            result, _ = run_fastft_on_dataset(
+                dataset, profile, seed=seed, novelty_decay_steps=steps
+            )
+            sweeps["decay_M"][ds_name].append({"value": steps, "score": result.best_score})
+
+        sweeps["memory_S"][ds_name] = []
+        for size in memory_sizes:
+            result, _ = run_fastft_on_dataset(dataset, profile, seed=seed, memory_size=size)
+            sweeps["memory_S"][ds_name].append({"value": size, "score": result.best_score})
+
+    return {"datasets": datasets, "sweeps": sweeps, "profile": profile.name}
+
+
+def format_report(data: dict) -> str:
+    blocks = []
+    for sweep_name, per_dataset in data["sweeps"].items():
+        values = [str(p["value"]) for p in next(iter(per_dataset.values()))]
+        headers = ["Dataset"] + values
+        rows = []
+        for ds_name in data["datasets"]:
+            rows.append(
+                [ds_name] + [f"{p['score']:.3f}" for p in per_dataset[ds_name]]
+            )
+        blocks.append(
+            format_table(headers, rows, title=f"Fig 13 — {sweep_name} sweep")
+        )
+    return "\n\n".join(blocks)

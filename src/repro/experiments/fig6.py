@@ -1,0 +1,55 @@
+"""Fig 6 — ablation study: FastFT vs −PP, −RCT, −NE on four datasets.
+
+Each ablation arm is a single config toggle; the figure's bars are the final
+downstream scores (and the deltas against full FastFT).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import load_profile_dataset, run_fastft_on_dataset
+from repro.experiments.profiles import DEFAULT, RunProfile
+from repro.experiments.reporting import format_table
+
+__all__ = ["ARMS", "DEFAULT_DATASETS", "run", "format_report"]
+
+ARMS = {
+    "FastFT": {},
+    "FastFT-PP": {"use_performance_predictor": False},
+    "FastFT-RCT": {"prioritized_replay": False},
+    "FastFT-NE": {"use_novelty": False},
+}
+
+# Three task types, two size classes — mirroring the paper's panel choice.
+DEFAULT_DATASETS = ["svmguide3", "wine_quality_red", "openml_589", "mammography"]
+
+
+def run(
+    profile: RunProfile = DEFAULT,
+    seed: int = 0,
+    datasets: list[str] | None = None,
+) -> dict:
+    datasets = datasets or DEFAULT_DATASETS
+    scores: dict[str, dict[str, float]] = {}
+    walls: dict[str, dict[str, float]] = {}
+    for ds_name in datasets:
+        dataset = load_profile_dataset(ds_name, profile, seed=seed)
+        scores[ds_name] = {}
+        walls[ds_name] = {}
+        for arm, overrides in ARMS.items():
+            result, wall = run_fastft_on_dataset(dataset, profile, seed=seed, **overrides)
+            scores[ds_name][arm] = result.best_score
+            walls[ds_name][arm] = wall
+    return {"datasets": datasets, "scores": scores, "walls": walls, "profile": profile.name}
+
+
+def format_report(data: dict) -> str:
+    headers = ["Dataset"] + list(ARMS)
+    rows = []
+    for ds_name in data["datasets"]:
+        row = [ds_name]
+        for arm in ARMS:
+            row.append(f"{data['scores'][ds_name][arm]:.3f}")
+        rows.append(row)
+    return format_table(
+        headers, rows, title=f"Fig 6 — ablation scores (profile={data['profile']})"
+    )

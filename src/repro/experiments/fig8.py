@@ -1,0 +1,57 @@
+"""Fig 8 — sequential-modeling ablation: LSTM vs RNN vs Transformer.
+
+Swaps the evaluation components' encoder (config ``seq_model``) and reports
+final performance and the estimation-time bucket (component forwards +
+training). The paper's finding: LSTM matches the alternatives at markedly
+lower runtime — transformation sequences are too simple to need attention.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import load_profile_dataset, run_fastft_on_dataset
+from repro.experiments.profiles import DEFAULT, RunProfile
+from repro.experiments.reporting import format_table
+
+__all__ = ["SEQ_MODELS", "run", "format_report"]
+
+SEQ_MODELS = ["lstm", "rnn", "transformer"]
+
+
+def run(
+    profile: RunProfile = DEFAULT,
+    seed: int = 0,
+    dataset_name: str = "openml_589",
+    seq_models: list[str] | None = None,
+) -> dict:
+    seq_models = seq_models or SEQ_MODELS
+    dataset = load_profile_dataset(dataset_name, profile, seed=seed)
+    rows: dict[str, dict[str, float]] = {}
+    for model in seq_models:
+        result, wall = run_fastft_on_dataset(dataset, profile, seed=seed, seq_model=model)
+        rows[model] = {
+            "score": result.best_score,
+            "estimation_time": result.time.estimation,
+            "overall_time": result.time.overall,
+            "wall": wall,
+        }
+    return {
+        "dataset": dataset_name,
+        "seq_models": seq_models,
+        "rows": rows,
+        "profile": profile.name,
+    }
+
+
+def format_report(data: dict) -> str:
+    headers = ["Encoder", "Score", "Estimation s", "Overall s"]
+    rows = []
+    for model in data["seq_models"]:
+        r = data["rows"][model]
+        rows.append(
+            [model, f"{r['score']:.3f}", f"{r['estimation_time']:.2f}", f"{r['overall_time']:.2f}"]
+        )
+    return format_table(
+        headers,
+        rows,
+        title=f"Fig 8 — sequence models on {data['dataset']} (profile={data['profile']})",
+    )

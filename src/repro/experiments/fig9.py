@@ -1,0 +1,70 @@
+"""Fig 9 — downstream performance vs time consumption, all methods.
+
+The paper's scatter: FastFT reaches the best scores at expansion-reduction-
+level time cost, far below the iterative/generative baselines; FastFT−PP
+matches performance at ~5× the runtime. We emit the (time, score) pairs per
+method per dataset.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import (
+    METHOD_ORDER,
+    load_profile_dataset,
+    run_baseline_on_dataset,
+    run_fastft_on_dataset,
+)
+from repro.experiments.profiles import DEFAULT, RunProfile
+from repro.experiments.reporting import format_table
+
+__all__ = ["DEFAULT_DATASETS", "run", "format_report"]
+
+DEFAULT_DATASETS = ["wine_quality_red", "openml_589"]
+
+
+def run(
+    profile: RunProfile = DEFAULT,
+    seed: int = 0,
+    datasets: list[str] | None = None,
+    methods: list[str] | None = None,
+) -> dict:
+    datasets = datasets or DEFAULT_DATASETS
+    methods = methods or (METHOD_ORDER + ["fastft_no_pp"])
+    points: dict[str, dict[str, tuple[float, float]]] = {}
+    for ds_name in datasets:
+        dataset = load_profile_dataset(ds_name, profile, seed=seed)
+        points[ds_name] = {}
+        for method in methods:
+            if method == "fastft":
+                result, wall = run_fastft_on_dataset(dataset, profile, seed=seed)
+                points[ds_name][method] = (wall, result.best_score)
+            elif method == "fastft_no_pp":
+                result, wall = run_fastft_on_dataset(
+                    dataset, profile, seed=seed, use_performance_predictor=False
+                )
+                points[ds_name][method] = (wall, result.best_score)
+            else:
+                res = run_baseline_on_dataset(method, dataset, profile, seed=seed)
+                points[ds_name][method] = (res.wall_time, res.best_score)
+    return {
+        "datasets": datasets,
+        "methods": methods,
+        "points": points,
+        "profile": profile.name,
+    }
+
+
+def format_report(data: dict) -> str:
+    headers = ["Method"] + [
+        col for ds in data["datasets"] for col in (f"{ds} time(s)", f"{ds} score")
+    ]
+    rows = []
+    for method in data["methods"]:
+        row = [method]
+        for ds in data["datasets"]:
+            wall, score = data["points"][ds][method]
+            row.extend([f"{wall:.1f}", f"{score:.3f}"])
+        rows.append(row)
+    return format_table(
+        headers, rows, title=f"Fig 9 — performance vs time (profile={data['profile']})"
+    )

@@ -1,0 +1,38 @@
+"""Plain-text table rendering for experiment reports (paper-style rows)."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_kv_block"]
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list[str]],
+    title: str | None = None,
+) -> str:
+    """Monospace table with column auto-sizing."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("Row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kv_block(title: str, pairs: dict) -> str:
+    """Aligned key/value block used for scalar summaries."""
+    width = max((len(str(k)) for k in pairs), default=0)
+    lines = [title, "-" * len(title)]
+    for key, value in pairs.items():
+        lines.append(f"{str(key).ljust(width)} : {value}")
+    return "\n".join(lines)

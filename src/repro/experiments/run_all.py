@@ -1,0 +1,94 @@
+"""Run every table/figure harness and write the reports to a directory.
+
+Usage (also exposed via ``python -m repro``)::
+
+    python -m repro.experiments.run_all --profile smoke --out reports/
+    python -m repro.experiments.run_all --only table1 fig6 --profile default
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments import DEFAULT, FULL, SMOKE
+from repro.experiments import (
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+}
+
+PROFILES = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
+
+
+def run_experiments(
+    names: list[str],
+    profile_name: str = "smoke",
+    out_dir: str | Path = "reports",
+    seed: int = 0,
+) -> dict[str, str]:
+    """Run the named experiments; returns {name: report_text}."""
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"Unknown experiments {unknown}. Available: {sorted(EXPERIMENTS)}")
+    profile = PROFILES[profile_name]
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    reports: dict[str, str] = {}
+    for name in names:
+        module = EXPERIMENTS[name]
+        start = time.perf_counter()
+        data = module.run(profile, seed=seed)
+        report = module.format_report(data)
+        elapsed = time.perf_counter() - start
+        (out / f"{name}.txt").write_text(report + "\n")
+        reports[name] = report
+        print(f"[{name}] done in {elapsed:.1f}s -> {out / f'{name}.txt'}")
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="smoke")
+    parser.add_argument("--out", default="reports")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--only", nargs="*", default=None, help="subset of experiments (default: all)"
+    )
+    args = parser.parse_args(argv)
+    names = args.only if args.only else list(EXPERIMENTS)
+    run_experiments(names, profile_name=args.profile, out_dir=args.out, seed=args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+"""Table II — runtime breakdown of FastFT vs FastFT−PP.
+
+Per dataset: average seconds per episode spent in Optimization, Estimation
+and Evaluation for both arms, and the percentage reduction FastFT's
+Performance Predictor buys on the Evaluation and Overall rows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import load_profile_dataset, run_fastft_on_dataset
+from repro.experiments.profiles import DEFAULT, RunProfile
+from repro.experiments.reporting import format_table
+
+__all__ = ["DEFAULT_DATASETS", "run", "format_report"]
+
+# The paper's four datasets, ordered by #samples × #features.
+DEFAULT_DATASETS = ["svmguide3", "wine_quality_white", "cardiovascular", "amazon_employee"]
+
+
+def run(
+    profile: RunProfile = DEFAULT,
+    seed: int = 0,
+    datasets: list[str] | None = None,
+) -> dict:
+    datasets = datasets or DEFAULT_DATASETS
+    rows: dict[str, dict] = {}
+    for ds_name in datasets:
+        dataset = load_profile_dataset(ds_name, profile, seed=seed)
+        size = dataset.n_samples * dataset.n_features
+
+        with_pp, _ = run_fastft_on_dataset(dataset, profile, seed=seed)
+        without_pp, _ = run_fastft_on_dataset(
+            dataset, profile, seed=seed, use_performance_predictor=False
+        )
+        episodes = profile.episodes
+        rows[ds_name] = {
+            "size": size,
+            "fastft": {
+                "optimization": with_pp.time.optimization / episodes,
+                "estimation": with_pp.time.estimation / episodes,
+                "evaluation": with_pp.time.evaluation / episodes,
+                "overall": with_pp.time.overall / episodes,
+                "score": with_pp.best_score,
+                "evals": with_pp.n_downstream_calls,
+            },
+            "fastft_no_pp": {
+                "optimization": without_pp.time.optimization / episodes,
+                "estimation": without_pp.time.estimation / episodes,
+                "evaluation": without_pp.time.evaluation / episodes,
+                "overall": without_pp.time.overall / episodes,
+                "score": without_pp.best_score,
+                "evals": without_pp.n_downstream_calls,
+            },
+        }
+    return {"datasets": datasets, "rows": rows, "profile": profile.name}
+
+
+def _reduction(full: float, fast: float) -> str:
+    if full <= 0:
+        return "n/a"
+    return f"{100.0 * (fast - full) / full:+.1f}%"
+
+
+def format_report(data: dict) -> str:
+    headers = ["Row"] + [
+        f"{d} ({data['rows'][d]['size']:,})" for d in data["datasets"]
+    ]
+    table_rows = []
+    for bucket in ("optimization", "estimation", "evaluation", "overall"):
+        no_pp = [f"{data['rows'][d]['fastft_no_pp'][bucket]:.2f}" for d in data["datasets"]]
+        pp = []
+        for d in data["datasets"]:
+            fast = data["rows"][d]["fastft"][bucket]
+            full = data["rows"][d]["fastft_no_pp"][bucket]
+            cell = f"{fast:.2f}"
+            if bucket in ("evaluation", "overall"):
+                cell += f" {_reduction(full, fast)}"
+            pp.append(cell)
+        table_rows.append([f"{bucket} (−PP)"] + no_pp)
+        table_rows.append([f"{bucket} (FastFT)"] + pp)
+    return format_table(
+        headers,
+        table_rows,
+        title=f"Table II — seconds per episode (profile={data['profile']})",
+    )

@@ -1,0 +1,124 @@
+"""Feature selection: variance filtering, top-k relevance, greedy mRMR.
+
+The FastFT engine prunes generated features by target relevance, and several
+baselines (ERG's reduction stage, AFT's redundancy control) are instances of
+the classic relevance/redundancy trade-off. This module provides those
+selectors as reusable components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator
+from repro.ml.mutual_info import mutual_info_matrix, mutual_info_with_target
+
+__all__ = ["VarianceThreshold", "SelectKBest", "mrmr_select"]
+
+
+class VarianceThreshold(BaseEstimator):
+    """Drop columns whose variance is at or below ``threshold``.
+
+    Zero-variance (constant) columns carry no signal but can destabilize
+    MI estimation and model training — this is the cheapest guard.
+    """
+
+    def __init__(self, threshold: float = 0.0) -> None:
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+        self.support_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "VarianceThreshold":
+        X = np.asarray(X, dtype=float)
+        self.support_ = X.var(axis=0) > self.threshold
+        if not self.support_.any():
+            # Keep the single highest-variance column rather than nothing.
+            keep = int(np.argmax(X.var(axis=0)))
+            self.support_ = np.zeros(X.shape[1], dtype=bool)
+            self.support_[keep] = True
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.support_ is None:
+            raise RuntimeError("VarianceThreshold is not fitted")
+        return np.asarray(X, dtype=float)[:, self.support_]
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def get_support(self) -> np.ndarray:
+        if self.support_ is None:
+            raise RuntimeError("VarianceThreshold is not fitted")
+        return self.support_
+
+
+class SelectKBest(BaseEstimator):
+    """Keep the k columns with the highest mutual information to the target."""
+
+    def __init__(self, k: int = 10, task: str = "classification", n_bins: int = 16) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.task = task
+        self.n_bins = n_bins
+        self.scores_: np.ndarray | None = None
+        self.support_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SelectKBest":
+        X = np.asarray(X, dtype=float)
+        self.scores_ = mutual_info_with_target(X, y, task=self.task, n_bins=self.n_bins)
+        k = min(self.k, X.shape[1])
+        top = np.argsort(-self.scores_)[:k]
+        self.support_ = np.zeros(X.shape[1], dtype=bool)
+        self.support_[top] = True
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.support_ is None:
+            raise RuntimeError("SelectKBest is not fitted")
+        return np.asarray(X, dtype=float)[:, self.support_]
+
+    def fit_transform(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+    def get_support(self) -> np.ndarray:
+        if self.support_ is None:
+            raise RuntimeError("SelectKBest is not fitted")
+        return self.support_
+
+
+def mrmr_select(
+    X: np.ndarray,
+    y: np.ndarray,
+    k: int,
+    task: str = "classification",
+    n_bins: int = 16,
+    redundancy_weight: float = 1.0,
+) -> list[int]:
+    """Greedy minimum-redundancy-maximum-relevance column selection.
+
+    At each step pick the column maximizing
+    ``MI(F_j, y) − redundancy_weight · mean_{s∈selected} MI(F_j, F_s)``.
+    Returns selected column indices in pick order.
+    """
+    X = np.asarray(X, dtype=float)
+    d = X.shape[1]
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k = min(k, d)
+    relevance = mutual_info_with_target(X, y, task=task, n_bins=n_bins)
+    redundancy = mutual_info_matrix(X, n_bins=n_bins)
+
+    selected = [int(np.argmax(relevance))]
+    while len(selected) < k:
+        best_j, best_score = -1, -np.inf
+        for j in range(d):
+            if j in selected:
+                continue
+            penalty = float(np.mean(redundancy[j, selected]))
+            score = relevance[j] - redundancy_weight * penalty
+            if score > best_score:
+                best_score, best_j = score, j
+        selected.append(best_j)
+    return selected

@@ -1,0 +1,156 @@
+"""Cross-validation utilities: K-fold splitters, train/test split, CV scoring.
+
+The paper evaluates every generated feature set with five-fold cross
+validation (train:test = 4:1); :func:`cross_val_score` is the exact routine
+the downstream oracle calls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, clone
+
+__all__ = ["KFold", "StratifiedKFold", "train_test_split", "cross_val_score"]
+
+
+class KFold:
+    """Split indices into ``n_splits`` contiguous (optionally shuffled) folds."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, seed: int | None = 0) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if n_samples < self.n_splits:
+            raise ValueError(f"Cannot split {n_samples} samples into {self.n_splits} folds")
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.seed)
+            rng.shuffle(indices)
+        fold_sizes = np.full(self.n_splits, n_samples // self.n_splits, dtype=int)
+        fold_sizes[: n_samples % self.n_splits] += 1
+        start = 0
+        for size in fold_sizes:
+            test = indices[start : start + size]
+            train = np.concatenate([indices[:start], indices[start + size :]])
+            yield train, test
+            start += size
+
+
+class StratifiedKFold:
+    """K-fold preserving per-class proportions; falls back gracefully for rare classes."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, seed: int | None = 0) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, y: np.ndarray) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y).ravel()
+        n_samples = len(y)
+        rng = np.random.default_rng(self.seed)
+        fold_of = np.empty(n_samples, dtype=int)
+        for cls in np.unique(y):
+            members = np.where(y == cls)[0]
+            if self.shuffle:
+                rng.shuffle(members)
+            # Round-robin assignment keeps each fold's class ratio balanced
+            # even when a class has fewer members than folds.
+            fold_of[members] = np.arange(len(members)) % self.n_splits
+        for k in range(self.n_splits):
+            test = np.where(fold_of == k)[0]
+            train = np.where(fold_of != k)[0]
+            if len(test) == 0 or len(train) == 0:
+                raise ValueError("Empty fold; reduce n_splits")
+            yield train, test
+
+
+def train_test_split(
+    *arrays: np.ndarray,
+    test_size: float = 0.2,
+    seed: int | None = 0,
+    stratify: np.ndarray | None = None,
+) -> list[np.ndarray]:
+    """Shuffle-split arrays into train/test partitions.
+
+    Returns ``[a_train, a_test, b_train, b_test, ...]`` matching sklearn's
+    ordering. When ``stratify`` is given, class proportions are preserved.
+    """
+    if not arrays:
+        raise ValueError("At least one array required")
+    n = len(arrays[0])
+    for a in arrays:
+        if len(a) != n:
+            raise ValueError("All arrays must share the first dimension")
+    rng = np.random.default_rng(seed)
+    n_test = max(1, int(round(n * test_size)))
+
+    if stratify is not None:
+        stratify = np.asarray(stratify).ravel()
+        test_idx_parts = []
+        for cls in np.unique(stratify):
+            members = np.where(stratify == cls)[0]
+            rng.shuffle(members)
+            k = max(1, int(round(len(members) * test_size)))
+            test_idx_parts.append(members[:k])
+        test_idx = np.concatenate(test_idx_parts)
+        mask = np.zeros(n, dtype=bool)
+        mask[test_idx] = True
+        train_idx, test_idx = np.where(~mask)[0], np.where(mask)[0]
+    else:
+        perm = rng.permutation(n)
+        test_idx, train_idx = perm[:n_test], perm[n_test:]
+
+    out: list[np.ndarray] = []
+    for a in arrays:
+        a = np.asarray(a)
+        out.extend([a[train_idx], a[test_idx]])
+    return out
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X: np.ndarray,
+    y: np.ndarray,
+    scorer: Callable[[np.ndarray, np.ndarray], float],
+    n_splits: int = 5,
+    seed: int | None = 0,
+    stratified: bool = False,
+    use_proba: bool = False,
+) -> np.ndarray:
+    """Fit a clone per fold and score on the held-out fold.
+
+    Parameters
+    ----------
+    scorer:
+        ``scorer(y_true, y_pred_or_score) -> float`` (higher is better).
+    use_proba:
+        Score with the positive-class probability instead of hard labels
+        (needed for AUC on detection tasks).
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    splitter = (
+        StratifiedKFold(n_splits, seed=seed).split(y)
+        if stratified
+        else KFold(n_splits, seed=seed).split(len(y))
+    )
+    scores = []
+    for train, test in splitter:
+        model = clone(estimator)
+        model.fit(X[train], y[train])
+        if use_proba:
+            proba = model.predict_proba(X[test])
+            pred = proba[:, -1] if proba.ndim == 2 else proba
+        else:
+            pred = model.predict(X[test])
+        scores.append(scorer(y[test], pred))
+    return np.asarray(scores, dtype=float)

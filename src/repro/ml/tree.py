@@ -1,0 +1,273 @@
+"""CART decision trees (classifier and regressor), vectorized on numpy.
+
+These trees are the workhorse of the downstream oracle: the paper's lineage
+(GRFG, FastFT) evaluates generated feature sets with a random forest, which
+is built on top of this module. The split search is an exact, sort-based scan
+(the classic CART algorithm), vectorized per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin, check_array, check_X_y
+
+__all__ = ["DecisionTreeClassifier", "DecisionTreeRegressor"]
+
+_LEAF = -1
+
+
+@dataclass
+class _Tree:
+    """Flat array representation of a fitted tree."""
+
+    feature: list[int] = field(default_factory=list)
+    threshold: list[float] = field(default_factory=list)
+    left: list[int] = field(default_factory=list)
+    right: list[int] = field(default_factory=list)
+    value: list[np.ndarray] = field(default_factory=list)
+
+    def add_node(self, value: np.ndarray) -> int:
+        self.feature.append(_LEAF)
+        self.threshold.append(0.0)
+        self.left.append(_LEAF)
+        self.right.append(_LEAF)
+        self.value.append(value)
+        return len(self.feature) - 1
+
+    def finalize(self) -> None:
+        self.feature = np.asarray(self.feature, dtype=np.int64)
+        self.threshold = np.asarray(self.threshold, dtype=float)
+        self.left = np.asarray(self.left, dtype=np.int64)
+        self.right = np.asarray(self.right, dtype=np.int64)
+        self.value = np.asarray(self.value, dtype=float)
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Return the leaf value row for every sample (vectorized descent)."""
+        node = np.zeros(X.shape[0], dtype=np.int64)
+        while True:
+            active = self.feature[node] != _LEAF
+            if not active.any():
+                break
+            idx = np.where(active)[0]
+            cur = node[idx]
+            go_left = X[idx, self.feature[cur]] <= self.threshold[cur]
+            node[idx] = np.where(go_left, self.left[cur], self.right[cur])
+        return self.value[node]
+
+
+class _BaseDecisionTree(BaseEstimator):
+    """Shared CART builder; subclasses define impurity and leaf values."""
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        seed: int | None = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.tree_: _Tree | None = None
+        self.n_features_: int | None = None
+        self.feature_importances_: np.ndarray | None = None
+
+    # -- subclass hooks -----------------------------------------------------
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _node_impurity(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _best_split_of_feature(
+        self, x_sorted: np.ndarray, y_sorted: np.ndarray
+    ) -> tuple[float, float]:
+        """Return (impurity_decrease_per_sample, threshold) or (-inf, nan)."""
+        raise NotImplementedError
+
+    # -- fitting ------------------------------------------------------------
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return n_features
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if mf == "log2":
+            return max(1, int(np.log2(n_features))) if n_features > 1 else 1
+        if isinstance(mf, float):
+            return max(1, int(mf * n_features))
+        return max(1, min(int(mf), n_features))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "_BaseDecisionTree":
+        X, y = check_X_y(X, y)
+        y = self._encode_target(y)
+        self.n_features_ = X.shape[1]
+        self._rng = np.random.default_rng(self.seed)
+        self._importance = np.zeros(self.n_features_, dtype=float)
+        self._n_total = X.shape[0]
+        self.tree_ = _Tree()
+        self._build(X, y, np.arange(X.shape[0]), depth=0)
+        self.tree_.finalize()
+        total = self._importance.sum()
+        self.feature_importances_ = (
+            self._importance / total if total > 0 else np.zeros_like(self._importance)
+        )
+        return self
+
+    def _encode_target(self, y: np.ndarray) -> np.ndarray:
+        return np.asarray(y, dtype=float)
+
+    def _build(self, X: np.ndarray, y: np.ndarray, idx: np.ndarray, depth: int) -> int:
+        node_y = y[idx]
+        node_id = self.tree_.add_node(self._leaf_value(node_y))
+
+        n = len(idx)
+        if (
+            n < self.min_samples_split
+            or n < 2 * self.min_samples_leaf
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or self._node_impurity(node_y) <= 1e-12
+        ):
+            return node_id
+
+        k = self._resolve_max_features(self.n_features_)
+        if k >= self.n_features_:
+            candidates = np.arange(self.n_features_)
+        else:
+            candidates = self._rng.choice(self.n_features_, size=k, replace=False)
+
+        best_gain, best_feature, best_threshold = 0.0, -1, 0.0
+        for f in candidates:
+            x = X[idx, f]
+            order = np.argsort(x, kind="stable")
+            gain, threshold = self._best_split_of_feature(x[order], node_y[order])
+            if gain > best_gain + 1e-15:
+                best_gain, best_feature, best_threshold = gain, int(f), float(threshold)
+
+        if best_feature < 0:
+            return node_id
+
+        go_left = X[idx, best_feature] <= best_threshold
+        left_idx, right_idx = idx[go_left], idx[~go_left]
+        if len(left_idx) < self.min_samples_leaf or len(right_idx) < self.min_samples_leaf:
+            return node_id
+
+        self._importance[best_feature] += best_gain * n / self._n_total
+        left_id = self._build(X, y, left_idx, depth + 1)
+        right_id = self._build(X, y, right_idx, depth + 1)
+        self.tree_.feature[node_id] = best_feature
+        self.tree_.threshold[node_id] = best_threshold
+        self.tree_.left[node_id] = left_id
+        self.tree_.right[node_id] = right_id
+        return node_id
+
+    def _split_positions(self, x_sorted: np.ndarray) -> np.ndarray:
+        """Valid split indices i (split between i and i+1), honoring leaf size."""
+        n = len(x_sorted)
+        lo, hi = self.min_samples_leaf, n - self.min_samples_leaf
+        if hi <= lo:
+            return np.empty(0, dtype=np.int64)
+        positions = np.arange(lo, hi)
+        distinct = x_sorted[positions - 1] < x_sorted[positions]
+        return positions[distinct]
+
+
+class DecisionTreeClassifier(_BaseDecisionTree, ClassifierMixin):
+    """Gini-impurity CART classifier with probability leaves."""
+
+    def _encode_target(self, y: np.ndarray) -> np.ndarray:
+        self.classes_, codes = np.unique(y, return_inverse=True)
+        self.n_classes_ = len(self.classes_)
+        return codes.astype(np.int64)
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        counts = np.bincount(y, minlength=self.n_classes_).astype(float)
+        return counts / counts.sum()
+
+    def _node_impurity(self, y: np.ndarray) -> float:
+        p = np.bincount(y, minlength=self.n_classes_) / len(y)
+        return float(1.0 - np.sum(p * p))
+
+    def _best_split_of_feature(
+        self, x_sorted: np.ndarray, y_sorted: np.ndarray
+    ) -> tuple[float, float]:
+        positions = self._split_positions(x_sorted)
+        if len(positions) == 0:
+            return -np.inf, np.nan
+        n = len(y_sorted)
+        onehot = np.zeros((n, self.n_classes_), dtype=float)
+        onehot[np.arange(n), y_sorted] = 1.0
+        cum = np.cumsum(onehot, axis=0)
+
+        left_counts = cum[positions - 1]
+        total = cum[-1]
+        right_counts = total - left_counts
+        n_left = positions.astype(float)
+        n_right = n - n_left
+
+        gini_left = 1.0 - np.sum((left_counts / n_left[:, None]) ** 2, axis=1)
+        gini_right = 1.0 - np.sum((right_counts / n_right[:, None]) ** 2, axis=1)
+        parent = 1.0 - np.sum((total / n) ** 2)
+        gain = parent - (n_left * gini_left + n_right * gini_right) / n
+
+        best = int(np.argmax(gain))
+        i = positions[best]
+        return float(gain[best]), float(0.5 * (x_sorted[i - 1] + x_sorted[i]))
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.tree_ is None:
+            raise RuntimeError("Tree is not fitted")
+        return self.tree_.apply(check_array(X))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+
+class DecisionTreeRegressor(_BaseDecisionTree, RegressorMixin):
+    """Variance-reduction CART regressor with mean leaves."""
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        return np.array([np.mean(y)])
+
+    def _node_impurity(self, y: np.ndarray) -> float:
+        return float(np.var(y))
+
+    def _best_split_of_feature(
+        self, x_sorted: np.ndarray, y_sorted: np.ndarray
+    ) -> tuple[float, float]:
+        positions = self._split_positions(x_sorted)
+        if len(positions) == 0:
+            return -np.inf, np.nan
+        n = len(y_sorted)
+        cum = np.cumsum(y_sorted)
+        cum2 = np.cumsum(y_sorted**2)
+
+        n_left = positions.astype(float)
+        n_right = n - n_left
+        sum_left = cum[positions - 1]
+        sum_right = cum[-1] - sum_left
+        sq_left = cum2[positions - 1]
+        sq_right = cum2[-1] - sq_left
+
+        var_left = sq_left / n_left - (sum_left / n_left) ** 2
+        var_right = sq_right / n_right - (sum_right / n_right) ** 2
+        parent = cum2[-1] / n - (cum[-1] / n) ** 2
+        gain = parent - (n_left * var_left + n_right * var_right) / n
+
+        best = int(np.argmax(gain))
+        i = positions[best]
+        return float(gain[best]), float(0.5 * (x_sorted[i - 1] + x_sorted[i]))
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.tree_ is None:
+            raise RuntimeError("Tree is not fitted")
+        return self.tree_.apply(check_array(X)).ravel()

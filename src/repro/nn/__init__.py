@@ -1,0 +1,45 @@
+"""Neural-network substrate (PyTorch stand-in) built on numpy.
+
+Provides everything the paper's evaluation components need:
+
+- :class:`~repro.nn.tensor.Tensor` — reverse-mode autodiff over numpy arrays
+- :mod:`~repro.nn.layers` — Linear, Embedding, Sequential, LayerNorm
+- :mod:`~repro.nn.recurrent` — LSTM and RNN sequence encoders (masked batches)
+- :mod:`~repro.nn.attention` — a minimal Transformer encoder (Fig 8 ablation)
+- :mod:`~repro.nn.optim` — SGD and Adam
+- :mod:`~repro.nn.init` — orthogonal / Xavier initializers (the Novelty
+  Estimator's frozen target network is orthogonally initialized, §III-C)
+"""
+
+from repro.nn.attention import TransformerEncoder
+from repro.nn.init import orthogonal_, xavier_uniform_
+from repro.nn.layers import Embedding, LayerNorm, Linear, ReLU, Sequential, Tanh
+from repro.nn.losses import mse_loss
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.recurrent import LSTMEncoder, RNNEncoder
+from repro.nn.tensor import Tensor, concat, log_softmax, softmax, stack
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "softmax",
+    "log_softmax",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "Sequential",
+    "ReLU",
+    "Tanh",
+    "LayerNorm",
+    "LSTMEncoder",
+    "RNNEncoder",
+    "TransformerEncoder",
+    "SGD",
+    "Adam",
+    "mse_loss",
+    "orthogonal_",
+    "xavier_uniform_",
+]

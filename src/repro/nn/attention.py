@@ -1,0 +1,92 @@
+"""Minimal Transformer encoder (the Fig 8 sequential-modeling ablation).
+
+Single-head scaled dot-product self-attention + position-wise FFN, with
+pre-LayerNorm residual blocks, sinusoidal positions and masked mean pooling.
+The paper finds LSTM matches this model at far lower runtime — the ablation
+harness reproduces exactly that comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Embedding, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor, softmax
+
+__all__ = ["TransformerEncoder"]
+
+
+def _sinusoidal_positions(T: int, dim: int) -> np.ndarray:
+    positions = np.arange(T)[:, None].astype(float)
+    div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+    table = np.zeros((T, dim))
+    table[:, 0::2] = np.sin(positions * div)
+    table[:, 1::2] = np.cos(positions * div[: table[:, 1::2].shape[1]])
+    return table
+
+
+class _EncoderBlock(Module):
+    def __init__(self, dim: int, ffn_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.q = Linear(dim, dim, rng=rng)
+        self.k = Linear(dim, dim, rng=rng)
+        self.v = Linear(dim, dim, rng=rng)
+        self.out = Linear(dim, dim, rng=rng)
+        self.ffn1 = Linear(dim, ffn_dim, rng=rng)
+        self.ffn2 = Linear(ffn_dim, dim, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.scale = 1.0 / np.sqrt(dim)
+
+    def forward(self, x: Tensor, mask: np.ndarray) -> Tensor:
+        # x: (B, T, D); mask: (B, T) with 1 for real tokens.
+        normed = self.norm1(x)
+        q, k, v = self.q(normed), self.k(normed), self.v(normed)
+        scores = (q @ k.swapaxes(-1, -2)) * self.scale  # (B, T, T)
+        # Padded keys get -1e9 so they receive ~zero attention mass.
+        bias = (mask[:, None, :] - 1.0) * 1e9
+        attn = softmax(scores + Tensor(bias), axis=-1)
+        attended = self.out(attn @ v)
+        x = x + attended
+        x = x + self.ffn2(self.ffn1(self.norm2(x)).relu())
+        return x
+
+
+class TransformerEncoder(Module):
+    """Token sequence → (B, hidden) encoding via masked mean pooling."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embed_dim: int = 32,
+        hidden_dim: int = 32,
+        num_layers: int = 2,
+        ffn_dim: int | None = None,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim
+        self.hidden_dim = hidden_dim
+        self.embedding = Embedding(vocab_size, embed_dim, rng=rng)
+        self.blocks = [
+            _EncoderBlock(embed_dim, ffn_dim or 2 * embed_dim, rng) for _ in range(num_layers)
+        ]
+        self.project = Linear(embed_dim, hidden_dim, rng=rng)
+
+    def forward(self, tokens: np.ndarray, mask: np.ndarray | None = None) -> Tensor:
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim == 1:
+            tokens = tokens.reshape(1, -1)
+        B, T = tokens.shape
+        if mask is None:
+            mask = np.ones((B, T), dtype=np.float64)
+        x = self.embedding(tokens) + Tensor(_sinusoidal_positions(T, self.embed_dim))
+        for block in self.blocks:
+            x = block(x, mask)
+        # Masked mean pooling over real tokens.
+        m = Tensor(mask[:, :, None])
+        pooled = (x * m).sum(axis=1) / Tensor(np.maximum(mask.sum(axis=1, keepdims=True), 1.0))
+        return self.project(pooled).tanh()

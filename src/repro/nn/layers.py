@@ -1,0 +1,101 @@
+"""Feed-forward building blocks: Linear, Embedding, activations, LayerNorm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import xavier_uniform_
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["Linear", "Embedding", "Sequential", "ReLU", "Tanh", "Sigmoid", "LayerNorm"]
+
+
+class Linear(Module):
+    """Affine map ``x @ W + b`` with Xavier-initialized weights."""
+
+    def __init__(
+        self, in_features: int, out_features: int, bias: bool = True, rng: np.random.Generator | None = None
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(np.empty((in_features, out_features)))
+        xavier_uniform_(self.weight, rng=rng)
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Token-index → dense-vector lookup with scatter-add gradients."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(rng.normal(0.0, 0.1, size=(num_embeddings, dim)))
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.min(initial=0) < 0 or indices.max(initial=0) >= self.num_embeddings:
+            raise IndexError(
+                f"Token index out of range [0, {self.num_embeddings}): "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        return self.weight[indices]
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self.layers = list(modules)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def named_parameters(self, prefix: str = ""):
+        for i, layer in enumerate(self.layers):
+            yield from layer.named_parameters(prefix=f"{prefix}layers.{i}.")
+
+
+class LayerNorm(Module):
+    """Per-feature layer normalization (last axis)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        normed = centered / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta

@@ -1,0 +1,32 @@
+"""Loss functions composed from autodiff primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["mse_loss", "huber_loss"]
+
+
+def mse_loss(pred: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error — the training loss of both evaluation components
+    (Equations 3 and 4)."""
+    if not isinstance(target, Tensor):
+        target = Tensor(np.asarray(target, dtype=float))
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def huber_loss(pred: Tensor, target: Tensor | np.ndarray, delta: float = 1.0) -> Tensor:
+    """Smooth-L1 loss; offered for the critic as a robust alternative."""
+    if not isinstance(target, Tensor):
+        target = Tensor(np.asarray(target, dtype=float))
+    diff = pred - target
+    abs_diff = np.abs(diff.data)
+    quadratic = diff * diff * 0.5
+    # Piecewise selection uses the (constant) indicator of |diff| <= delta.
+    inside = Tensor((abs_diff <= delta).astype(float))
+    sign = Tensor(np.sign(diff.data))
+    linear = sign * diff * delta - Tensor(np.full_like(abs_diff, 0.5 * delta * delta))
+    return (inside * quadratic + (1.0 - inside) * linear).mean()

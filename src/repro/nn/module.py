@@ -1,0 +1,94 @@
+"""Module/Parameter containers mirroring the torch.nn API surface we need."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as trainable by :class:`Module`."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class: recursive parameter collection, train/eval flag, state dict."""
+
+    def __init__(self) -> None:
+        self.training = True
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all unique parameters in this module and its submodules."""
+        seen: set[int] = set()
+        for _, param in self.named_parameters():
+            if id(param) not in seen:
+                seen.add(id(param))
+                yield param
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, value in vars(self).items():
+            full = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield full, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{full}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{full}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{full}.{i}.")
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def n_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+    def memory_bytes(self) -> int:
+        """Parameter memory footprint (used by the Fig 11 harness)."""
+        return sum(p.data.nbytes for p in self.parameters())
+
+    def train(self) -> "Module":
+        self.training = True
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value.eval()
+        return self
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        extra = set(state) - set(own)
+        if missing or extra:
+            raise ValueError(f"State mismatch: missing={sorted(missing)} extra={sorted(extra)}")
+        for name, values in state.items():
+            if own[name].data.shape != values.shape:
+                raise ValueError(
+                    f"Shape mismatch for {name}: {own[name].data.shape} vs {values.shape}"
+                )
+            own[name].data = values.copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError

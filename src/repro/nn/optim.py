@@ -1,0 +1,102 @@
+"""Gradient-descent optimizers: SGD (with momentum) and Adam."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["SGD", "Adam"]
+
+
+class _Optimizer:
+    def __init__(self, parameters, lr: float) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.parameters: list[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("No parameters to optimize")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, parameters, lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum > 0:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(_Optimizer):
+    """Adam with bias correction and optional decoupled weight decay."""
+
+    def __init__(
+        self,
+        parameters,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        max_grad_norm: float | None = 5.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.max_grad_norm = max_grad_norm
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def _clip_gradients(self) -> None:
+        if self.max_grad_norm is None:
+            return
+        total = 0.0
+        for p in self.parameters:
+            if p.grad is not None:
+                total += float(np.sum(p.grad**2))
+        norm = np.sqrt(total)
+        if norm > self.max_grad_norm:
+            scale = self.max_grad_norm / (norm + 1e-12)
+            for p in self.parameters:
+                if p.grad is not None:
+                    p.grad *= scale
+
+    def step(self) -> None:
+        self._clip_gradients()
+        self._t += 1
+        b1, b2 = self.betas
+        correction1 = 1.0 - b1**self._t
+        correction2 = 1.0 - b2**self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay > 0:
+                p.data *= 1.0 - self.lr * self.weight_decay
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad**2
+            m_hat = m / correction1
+            v_hat = v / correction2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

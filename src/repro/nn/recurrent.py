@@ -1,0 +1,143 @@
+"""Recurrent sequence encoders: multi-layer LSTM and vanilla RNN.
+
+Both the Performance Predictor and the Novelty Estimator encode a
+transformation-token sequence with a 2-layer LSTM (paper §V: embedding 32).
+Batches are right-padded; a per-timestep mask freezes the hidden state after
+a sequence's last real token, so the returned encoding is exactly the state
+at each sequence's own end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Embedding
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["LSTMEncoder", "RNNEncoder", "pad_token_batch"]
+
+
+def pad_token_batch(sequences: list[np.ndarray], pad_value: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Right-pad integer token sequences into (B, T) tokens + (B, T) float mask."""
+    if not sequences:
+        raise ValueError("Empty batch")
+    lengths = [len(s) for s in sequences]
+    if min(lengths) == 0:
+        raise ValueError("Sequences must be non-empty")
+    T = max(lengths)
+    tokens = np.full((len(sequences), T), pad_value, dtype=np.int64)
+    mask = np.zeros((len(sequences), T), dtype=np.float64)
+    for i, seq in enumerate(sequences):
+        tokens[i, : len(seq)] = seq
+        mask[i, : len(seq)] = 1.0
+    return tokens, mask
+
+
+class _RecurrentBase(Module):
+    """Shared plumbing: embedding, per-layer weights, masked unroll."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embed_dim: int = 32,
+        hidden_dim: int = 32,
+        num_layers: int = 2,
+        gate_multiple: int = 1,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        rng = np.random.default_rng(seed)
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.embedding = Embedding(vocab_size, embed_dim, rng=rng)
+
+        def glorot(rows: int, cols: int) -> Parameter:
+            bound = np.sqrt(6.0 / (rows + cols))
+            return Parameter(rng.uniform(-bound, bound, size=(rows, cols)))
+
+        g = gate_multiple
+        self.w_x = [glorot(embed_dim if l == 0 else hidden_dim, g * hidden_dim) for l in range(num_layers)]
+        self.w_h = [glorot(hidden_dim, g * hidden_dim) for _ in range(num_layers)]
+        self.b = [Parameter(np.zeros(g * hidden_dim)) for _ in range(num_layers)]
+
+    def forward(self, tokens: np.ndarray, mask: np.ndarray | None = None) -> Tensor:
+        """Encode (B, T) token indices into (B, hidden_dim) final states."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim == 1:
+            tokens = tokens.reshape(1, -1)
+        B, T = tokens.shape
+        if mask is None:
+            mask = np.ones((B, T), dtype=np.float64)
+        embedded = self.embedding(tokens)  # (B, T, E)
+        return self._unroll(embedded, mask, B, T)
+
+    def _unroll(self, embedded: Tensor, mask: np.ndarray, B: int, T: int) -> Tensor:
+        raise NotImplementedError
+
+
+class LSTMEncoder(_RecurrentBase):
+    """Multi-layer LSTM; gates packed as [input, forget, cell, output]."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embed_dim: int = 32,
+        hidden_dim: int = 32,
+        num_layers: int = 2,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(vocab_size, embed_dim, hidden_dim, num_layers, gate_multiple=4, seed=seed)
+        # Forget-gate bias of 1.0 — the standard trick for gradient flow.
+        for b in self.b:
+            b.data[hidden_dim : 2 * hidden_dim] = 1.0
+
+    def _unroll(self, embedded: Tensor, mask: np.ndarray, B: int, T: int) -> Tensor:
+        H = self.hidden_dim
+        h = [Tensor(np.zeros((B, H))) for _ in range(self.num_layers)]
+        c = [Tensor(np.zeros((B, H))) for _ in range(self.num_layers)]
+        for t in range(T):
+            x = embedded[:, t, :]
+            m = Tensor(mask[:, t : t + 1])
+            for l in range(self.num_layers):
+                z = x @ self.w_x[l] + h[l] @ self.w_h[l] + self.b[l]
+                i_gate = z[:, 0 * H : 1 * H].sigmoid()
+                f_gate = z[:, 1 * H : 2 * H].sigmoid()
+                g_gate = z[:, 2 * H : 3 * H].tanh()
+                o_gate = z[:, 3 * H : 4 * H].sigmoid()
+                c_new = f_gate * c[l] + i_gate * g_gate
+                h_new = o_gate * c_new.tanh()
+                # Frozen past the sequence end: padded steps keep old state.
+                c[l] = m * c_new + (1.0 - m) * c[l]
+                h[l] = m * h_new + (1.0 - m) * h[l]
+                x = h[l]
+        return h[-1]
+
+
+class RNNEncoder(_RecurrentBase):
+    """Multi-layer Elman RNN with tanh recurrence (Fig 8 ablation)."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embed_dim: int = 32,
+        hidden_dim: int = 32,
+        num_layers: int = 2,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__(vocab_size, embed_dim, hidden_dim, num_layers, gate_multiple=1, seed=seed)
+
+    def _unroll(self, embedded: Tensor, mask: np.ndarray, B: int, T: int) -> Tensor:
+        h = [Tensor(np.zeros((B, self.hidden_dim))) for _ in range(self.num_layers)]
+        for t in range(T):
+            x = embedded[:, t, :]
+            m = Tensor(mask[:, t : t + 1])
+            for l in range(self.num_layers):
+                h_new = (x @ self.w_x[l] + h[l] @ self.w_h[l] + self.b[l]).tanh()
+                h[l] = m * h_new + (1.0 - m) * h[l]
+                x = h[l]
+        return h[-1]

@@ -1,0 +1,24 @@
+"""Reinforcement-learning substrate.
+
+Provides the building blocks the cascading agents are assembled from:
+
+- :mod:`repro.rl.replay` — uniform and TD-error-prioritized replay buffers
+  (Equation 10's proportional sampling, backed by a sum tree)
+- :mod:`repro.rl.actor_critic` — the paper's default Actor-Critic learner
+- :mod:`repro.rl.dqn` — DQN / DoubleDQN / DuelingDQN / DuelingDoubleDQN,
+  swapped in for the Fig 7 framework ablation
+"""
+
+from repro.rl.actor_critic import ActorCriticLearner
+from repro.rl.dqn import DQNLearner, make_learner
+from repro.rl.replay import PrioritizedReplayBuffer, ReplayBuffer, SumTree, Transition
+
+__all__ = [
+    "Transition",
+    "ReplayBuffer",
+    "PrioritizedReplayBuffer",
+    "SumTree",
+    "ActorCriticLearner",
+    "DQNLearner",
+    "make_learner",
+]

@@ -1,0 +1,171 @@
+"""Actor-Critic learner over candidate-conditioned action spaces (Eq. 7–9).
+
+Each cascading agent must pick one candidate (a feature cluster or an
+operation) from a *variable-size* set. The actor therefore scores the
+concatenation ``state ⊕ candidate`` with an MLP and softmaxes over the
+candidate axis; the critic maps the state vector to V(s). Updates follow the
+paper's losses:
+
+    L_V = E[(V(s) − (r + γ V(s')))²]
+    L_π = −E[log π(a|s) · A(s,a)],   A = r + γV(s') − V(s)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear, ReLU, Sequential, Tanh
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, log_softmax
+from repro.rl.replay import Transition
+
+__all__ = ["ActorCriticLearner"]
+
+
+def _mlp(in_dim: int, hidden: int, out_dim: int, rng: np.random.Generator) -> Sequential:
+    return Sequential(
+        Linear(in_dim, hidden, rng=rng),
+        ReLU(),
+        Linear(hidden, hidden, rng=rng),
+        Tanh(),
+        Linear(hidden, out_dim, rng=rng),
+    )
+
+
+class ActorCriticLearner:
+    """Policy + value learner with softmax exploration over candidates.
+
+    Parameters
+    ----------
+    state_dim / candidate_dim:
+        Sizes of the fixed state vector and per-candidate representation.
+    gamma:
+        Discount factor for the TD target.
+    temperature:
+        Softmax temperature during action selection (exploration knob).
+    entropy_coef:
+        Entropy bonus weight added to the actor loss for extra exploration.
+    """
+
+    name = "actor_critic"
+
+    def __init__(
+        self,
+        state_dim: int,
+        candidate_dim: int,
+        hidden: int = 64,
+        lr: float = 1e-3,
+        gamma: float = 0.95,
+        temperature: float = 1.0,
+        entropy_coef: float = 0.01,
+        seed: int | None = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        self.state_dim = state_dim
+        self.candidate_dim = candidate_dim
+        self.gamma = gamma
+        self.temperature = temperature
+        self.entropy_coef = entropy_coef
+        self.actor = _mlp(state_dim + candidate_dim, hidden, 1, rng)
+        self.critic = _mlp(state_dim, hidden, 1, rng)
+        self.actor_opt = Adam(self.actor.parameters(), lr=lr)
+        self.critic_opt = Adam(self.critic.parameters(), lr=lr)
+        self._rng = np.random.default_rng(None if seed is None else seed + 1)
+
+    # -- acting ---------------------------------------------------------------
+
+    def _scores(self, state: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+        inputs = np.concatenate(
+            [np.tile(state, (len(candidates), 1)), candidates], axis=1
+        )
+        return self.actor(Tensor(inputs)).data.ravel()
+
+    def select(self, state: np.ndarray, candidates: np.ndarray, greedy: bool = False) -> int:
+        """Sample (or argmax) a candidate index under the softmax policy."""
+        candidates = np.atleast_2d(candidates)
+        if len(candidates) == 0:
+            raise ValueError("No candidates to select from")
+        scores = self._scores(state, candidates) / max(self.temperature, 1e-6)
+        scores = scores - scores.max()
+        probs = np.exp(scores)
+        probs /= probs.sum()
+        if greedy:
+            return int(np.argmax(probs))
+        return int(self._rng.choice(len(candidates), p=probs))
+
+    def value(self, state: np.ndarray) -> float:
+        """Critic estimate V(s) — used for TD-error priorities (Eq. 10)."""
+        return float(self.critic(Tensor(state.reshape(1, -1))).data.ravel()[0])
+
+    def td_error(self, transition: Transition) -> float:
+        """δ = r + γV(s') − V(s), the priority signal."""
+        bootstrap = 0.0 if transition.done else self.gamma * self.value(transition.next_state)
+        return transition.reward + bootstrap - self.value(transition.state)
+
+    # -- learning ---------------------------------------------------------------
+
+    def update(
+        self, batch: list[Transition], weights: np.ndarray | None = None
+    ) -> dict[str, float]:
+        """One gradient step of critic and actor on a replayed batch.
+
+        Returns the new |TD errors| (for priority refresh) and both losses.
+        """
+        if not batch:
+            raise ValueError("Empty batch")
+        if weights is None:
+            weights = np.ones(len(batch))
+
+        states = np.stack([t.state for t in batch])
+        next_states = np.stack([t.next_state for t in batch])
+        rewards = np.array([t.reward for t in batch])
+        dones = np.array([t.done for t in batch], dtype=float)
+
+        next_values = self.critic(Tensor(next_states)).data.ravel()
+        targets = rewards + self.gamma * (1.0 - dones) * next_values
+
+        # Critic step.
+        self.critic_opt.zero_grad()
+        values = self.critic(Tensor(states)).reshape(-1)
+        diff = values - Tensor(targets)
+        critic_loss = (Tensor(weights) * diff * diff).mean()
+        critic_loss.backward()
+        self.critic_opt.step()
+
+        # Advantage under the refreshed critic (detached).
+        current_values = self.critic(Tensor(states)).data.ravel()
+        advantages = targets - current_values
+
+        # Actor step: each transition contributes −log π(a|s)·A.
+        self.actor_opt.zero_grad()
+        actor_terms = []
+        for t, adv, w in zip(batch, advantages, weights):
+            candidates = t.payload.get("candidates")
+            if candidates is None or len(candidates) < 2:
+                continue
+            chosen = int(t.payload["action_index"])
+            inputs = np.concatenate(
+                [np.tile(t.state, (len(candidates), 1)), np.atleast_2d(candidates)], axis=1
+            )
+            scores = self.actor(Tensor(inputs)).reshape(1, -1)
+            logp = log_softmax(scores, axis=1)
+            probs = logp.exp()
+            entropy = -(probs * logp).sum()
+            term = logp[0, chosen] * float(adv) * float(w) + self.entropy_coef * entropy
+            actor_terms.append(term)
+        actor_loss_val = 0.0
+        if actor_terms:
+            total = actor_terms[0]
+            for term in actor_terms[1:]:
+                total = total + term
+            actor_loss = -(total * (1.0 / len(actor_terms)))
+            actor_loss.backward()
+            self.actor_opt.step()
+            actor_loss_val = actor_loss.item()
+
+        new_errors = np.abs(targets - self.critic(Tensor(states)).data.ravel())
+        return {
+            "critic_loss": critic_loss.item(),
+            "actor_loss": actor_loss_val,
+            "td_errors": new_errors,
+        }

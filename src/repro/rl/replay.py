@@ -1,0 +1,211 @@
+"""Experience replay: uniform ring buffer and prioritized buffer (Eq. 10).
+
+The paper stores each exploration step's memory
+``m_i = <s_i, a_i, r_i, s_{i+1}, a_{i+1}, T_i, v_i>`` with priority equal to
+its TD error and samples with probability ``B_i = P_i / Σ_k P_k``. The
+prioritized buffer implements exactly that proportional scheme with a sum
+tree, plus the standard importance-sampling weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["Transition", "ReplayBuffer", "PrioritizedReplayBuffer", "SumTree"]
+
+
+@dataclass
+class Transition:
+    """One exploration step's memory unit.
+
+    ``state`` / ``next_state`` are fixed-size vectors; ``action_vec`` is the
+    representation of the chosen candidate; ``next_candidates`` holds the
+    candidate representations available in the next state (needed by the
+    DQN-family max over a′). ``payload`` carries FastFT-specific extras
+    (transformation sequence, measured performance v_i).
+    """
+
+    state: np.ndarray
+    action_vec: np.ndarray
+    reward: float
+    next_state: np.ndarray
+    next_candidates: np.ndarray | None = None
+    done: bool = False
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class ReplayBuffer:
+    """Uniform-sampling ring buffer (the FastFT−RCT ablation arm)."""
+
+    def __init__(self, capacity: int, seed: int | None = 0) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._storage: list[Transition] = []
+        self._cursor = 0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._storage) == self.capacity
+
+    def add(self, transition: Transition, priority: float | None = None) -> None:
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._cursor] = transition
+            self._cursor = (self._cursor + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> tuple[list[Transition], np.ndarray, np.ndarray]:
+        """Return (transitions, indices, weights); weights are all 1."""
+        if not self._storage:
+            raise ValueError("Cannot sample from an empty buffer")
+        idx = self._rng.integers(0, len(self._storage), size=min(batch_size, len(self._storage)))
+        return [self._storage[i] for i in idx], idx, np.ones(len(idx))
+
+    def sample_uniform_records(self, batch_size: int) -> list[Transition]:
+        """Uniform record sampling used for evaluation-component training."""
+        return self.sample(batch_size)[0]
+
+    def update_priorities(self, indices: np.ndarray, priorities: np.ndarray) -> None:
+        """No-op for the uniform buffer (API parity with the prioritized one)."""
+
+    def all(self) -> list[Transition]:
+        return list(self._storage)
+
+
+class SumTree:
+    """Binary indexed tree over priorities supporting O(log n) prefix search."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._tree = np.zeros(2 * capacity, dtype=np.float64)
+
+    def total(self) -> float:
+        return float(self._tree[1])
+
+    def set(self, index: int, value: float) -> None:
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"index {index} out of range [0, {self.capacity})")
+        if value < 0:
+            raise ValueError("priority must be non-negative")
+        node = index + self.capacity
+        delta = value - self._tree[node]
+        while node >= 1:
+            self._tree[node] += delta
+            node //= 2
+
+    def get(self, index: int) -> float:
+        return float(self._tree[index + self.capacity])
+
+    def find_prefix(self, mass: float) -> int:
+        """Return the leaf index where the running prefix sum reaches ``mass``.
+
+        Never lands on a zero-priority leaf while positive mass exists: an
+        empty left subtree routes right even for ``mass == 0`` (otherwise a
+        boundary draw of exactly 0 could select an impossible item).
+        """
+        node = 1
+        while node < self.capacity:
+            left = 2 * node
+            left_sum = self._tree[left]
+            right_sum = self._tree[left + 1]
+            if (mass <= left_sum and left_sum > 0.0) or right_sum <= 0.0:
+                node = left
+            else:
+                mass -= left_sum
+                node = left + 1
+        return node - self.capacity
+
+
+class PrioritizedReplayBuffer:
+    """Proportional prioritized replay (Schaul-style, matching Eq. 10).
+
+    Priorities are |TD error| + ε raised to ``alpha``; sampling probability is
+    priority mass / total mass, and importance weights ``(N·B_i)^{-β}`` are
+    normalized by their max.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        alpha: float = 0.6,
+        beta: float = 0.4,
+        eps: float = 1e-3,
+        seed: int | None = 0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.alpha = alpha
+        self.beta = beta
+        self.eps = eps
+        self._tree = SumTree(capacity)
+        self._storage: list[Transition] = []
+        self._cursor = 0
+        self._max_priority = 1.0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._storage) == self.capacity
+
+    def _scaled(self, priority: float) -> float:
+        return (abs(priority) + self.eps) ** self.alpha
+
+    def add(self, transition: Transition, priority: float | None = None) -> None:
+        """Insert with the given TD-error priority (default: current max)."""
+        p = self._max_priority if priority is None else self._scaled(priority)
+        self._max_priority = max(self._max_priority, p)
+        if len(self._storage) < self.capacity:
+            index = len(self._storage)
+            self._storage.append(transition)
+        else:
+            index = self._cursor
+            self._storage[index] = transition
+            self._cursor = (self._cursor + 1) % self.capacity
+        self._tree.set(index, p)
+
+    def sample(self, batch_size: int) -> tuple[list[Transition], np.ndarray, np.ndarray]:
+        """Proportional sample; returns (transitions, indices, IS weights)."""
+        n = len(self._storage)
+        if n == 0:
+            raise ValueError("Cannot sample from an empty buffer")
+        batch_size = min(batch_size, n)
+        total = self._tree.total()
+        if total <= 0:
+            idx = self._rng.integers(0, n, size=batch_size)
+        else:
+            # Stratified masses reduce sample variance.
+            bounds = np.linspace(0, total, batch_size + 1)
+            masses = self._rng.uniform(bounds[:-1], bounds[1:])
+            idx = np.array([min(self._tree.find_prefix(m), n - 1) for m in masses])
+        priorities = np.array([max(self._tree.get(i), 1e-12) for i in idx])
+        probs = priorities / max(total, 1e-12)
+        weights = (n * probs) ** (-self.beta)
+        weights /= weights.max()
+        return [self._storage[i] for i in idx], idx, weights
+
+    def sample_uniform_records(self, batch_size: int) -> list[Transition]:
+        """Uniform sampling (Algorithms 1 & 2 train φ/ψ on uniform draws)."""
+        n = len(self._storage)
+        idx = self._rng.integers(0, n, size=min(batch_size, n))
+        return [self._storage[i] for i in idx]
+
+    def update_priorities(self, indices: np.ndarray, priorities: np.ndarray) -> None:
+        for i, p in zip(indices, priorities):
+            scaled = self._scaled(float(p))
+            self._max_priority = max(self._max_priority, scaled)
+            self._tree.set(int(i), scaled)
+
+    def all(self) -> list[Transition]:
+        return list(self._storage)

@@ -1,0 +1,210 @@
+"""Tests for the 11 baseline feature-transformation methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AFT,
+    BASELINE_REGISTRY,
+    CAAFE,
+    DIFER,
+    ERG,
+    GRFG,
+    LDA,
+    NFS,
+    OpenFE,
+    RDG,
+    RFG,
+    TTG,
+)
+from repro.baselines.caafe import SemanticProposalEngine
+from repro.baselines.lda import LatentTopicModel
+
+FAST_KWARGS = {
+    "rfg": dict(n_rounds=3),
+    "rdg": dict(n_rounds=2),
+    "erg": dict(binary_pair_budget=6),
+    "lda": dict(n_iter=8, n_topics=4),
+    "aft": dict(n_rounds=2, candidates_per_round=8),
+    "nfs": dict(n_epochs=2),
+    "ttg": dict(node_budget=4),
+    "difer": dict(corpus_size=4, search_rounds=1, predictor_epochs=2),
+    "openfe": dict(binary_pair_budget=6, admit_budget=2),
+    "caafe": dict(n_iterations=1),
+    "grfg": dict(episodes=2, steps_per_episode=2, component_epochs=1,
+                 max_clusters=3, mi_max_rows=80),
+}
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(150, 6))
+    y = (X[:, 0] * X[:, 1] > 0).astype(int)
+    names = [f"col{j}" for j in range(6)]
+    return X, y, names
+
+
+class TestBaselineProtocol:
+    @pytest.mark.parametrize("name", sorted(BASELINE_REGISTRY))
+    def test_fit_returns_complete_result(self, name, problem):
+        X, y, names = problem
+        method = BASELINE_REGISTRY[name](
+            cv_splits=3, rf_estimators=4, seed=0, **FAST_KWARGS[name]
+        )
+        result = method.fit(X, y, task="classification", feature_names=names)
+        assert result.name == method.name
+        assert np.isfinite(result.base_score)
+        assert np.isfinite(result.best_score)
+        assert result.wall_time > 0
+        assert result.n_evaluations >= 1
+
+    @pytest.mark.parametrize("name", sorted(BASELINE_REGISTRY))
+    def test_plan_reapplies_to_new_data(self, name, problem):
+        X, y, names = problem
+        method = BASELINE_REGISTRY[name](
+            cv_splits=3, rf_estimators=4, seed=0, **FAST_KWARGS[name]
+        )
+        result = method.fit(X, y, task="classification", feature_names=names)
+        rng = np.random.default_rng(9)
+        out = result.transform(rng.normal(size=(25, 6)))
+        assert out.shape[0] == 25
+        assert out.shape[1] >= 1
+        assert np.isfinite(out).all()
+
+
+class TestRFG:
+    def test_improvement_property(self, problem):
+        X, y, names = problem
+        result = RFG(n_rounds=4, cv_splits=3, rf_estimators=4, seed=0).fit(X, y)
+        assert result.best_score >= result.base_score
+        assert result.improvement >= 0
+
+    def test_rdg_has_smaller_budget(self):
+        assert RDG().n_rounds < RFG().n_rounds
+
+    def test_feature_cap(self, problem):
+        X, y, _ = problem
+        result = RFG(
+            n_rounds=5, steps_per_round=4, max_features_factor=2,
+            cv_splits=3, rf_estimators=4, seed=0,
+        ).fit(X, y)
+        assert result.plan.n_features <= 2 * X.shape[1]
+
+
+class TestERG:
+    def test_expands_then_reduces(self, problem):
+        X, y, _ = problem
+        result = ERG(keep_factor=2.0, binary_pair_budget=6,
+                     cv_splits=3, rf_estimators=4, seed=0).fit(X, y)
+        assert result.plan.n_features <= 2 * X.shape[1]
+
+    def test_invalid_keep_factor(self):
+        with pytest.raises(ValueError):
+            ERG(keep_factor=0)
+
+
+class TestLDA:
+    def test_projection_dimension(self, problem):
+        X, y, _ = problem
+        result = LDA(n_topics=4, n_iter=5, cv_splits=3, rf_estimators=4, seed=0).fit(X, y)
+        assert result.plan.n_features == 4
+        assert result.transform(X).shape == (len(X), 4)
+
+    def test_topic_model_rows_are_distributions(self, problem):
+        X, _, _ = problem
+        model = LatentTopicModel(n_topics=3, n_iter=10, seed=0)
+        theta = model.fit_transform(X)
+        assert theta.shape == (len(X), 3)
+        assert np.allclose(theta.sum(axis=1), 1.0, atol=1e-6)
+        assert (theta >= 0).all()
+
+    def test_topic_model_transform_new_data(self, problem):
+        X, _, _ = problem
+        model = LatentTopicModel(n_topics=3, n_iter=10, seed=0)
+        model.fit_transform(X[:100])
+        theta = model.transform(X[100:])
+        assert theta.shape == (50, 3)
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError):
+            LatentTopicModel().transform(np.ones((3, 2)))
+
+    def test_invalid_topics_raise(self):
+        with pytest.raises(ValueError):
+            LatentTopicModel(n_topics=0)
+
+
+class TestCAAFE:
+    def test_template_matching_on_named_features(self):
+        engine = SemanticProposalEngine(["Weight", "Height", "Age"], seed=0)
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 3))
+        y = rng.integers(0, 2, 50)
+        proposals = engine.propose(X, y, "classification", k=5)
+        assert ("divide", 0, 1) in proposals  # weight/height template
+
+    def test_generic_fallback_without_names(self):
+        engine = SemanticProposalEngine(["f1", "f2", "f3"], seed=0)
+        rng = np.random.default_rng(0)
+        proposals = engine.propose(
+            rng.normal(size=(50, 3)), rng.integers(0, 2, 50), "classification", k=4
+        )
+        assert len(proposals) == 4
+        assert all(i != j for _, i, j in proposals)
+
+    def test_simulated_latency_charged(self, problem):
+        X, y, names = problem
+        result = CAAFE(
+            n_iterations=2, simulated_llm_latency=10.0,
+            cv_splits=3, rf_estimators=4, seed=0,
+        ).fit(X, y, feature_names=names)
+        assert result.wall_time >= 20.0  # 2 calls × 10s, without sleeping
+        assert result.extra["llm_calls"] == 2
+
+
+class TestSearchBaselines:
+    def test_nfs_controller_runs(self, problem):
+        X, y, names = problem
+        result = NFS(n_epochs=3, cv_splits=3, rf_estimators=4, seed=0).fit(
+            X, y, feature_names=names
+        )
+        assert result.best_score >= result.base_score
+
+    def test_ttg_graph_recorded(self, problem):
+        X, y, _ = problem
+        result = TTG(node_budget=5, cv_splits=3, rf_estimators=4, seed=0).fit(X, y)
+        assert result.extra.get("graph_nodes", 0) >= 5
+        assert result.extra.get("graph_edges", 0) >= 4
+
+    def test_difer_corpus_grows_during_search(self, problem):
+        X, y, _ = problem
+        result = DIFER(
+            corpus_size=4, search_rounds=2, evaluate_top=1,
+            predictor_epochs=2, cv_splits=3, rf_estimators=4, seed=0,
+        ).fit(X, y)
+        assert result.extra["corpus_size"] == 4 + 2
+
+    def test_openfe_admits_bounded(self, problem):
+        X, y, _ = problem
+        result = OpenFE(
+            binary_pair_budget=6, admit_budget=2, cv_splits=3, rf_estimators=4, seed=0
+        ).fit(X, y)
+        assert result.extra["admitted"] <= 2
+        assert result.plan.n_features <= X.shape[1] + 2
+
+    def test_aft_keeps_original_features(self, problem):
+        X, y, _ = problem
+        result = AFT(n_rounds=2, cv_splits=3, rf_estimators=4, seed=0).fit(X, y)
+        assert result.plan.n_features >= X.shape[1]
+
+    def test_grfg_never_uses_predictor(self, problem):
+        X, y, names = problem
+        result = GRFG(
+            episodes=2, steps_per_episode=2, cv_splits=3, rf_estimators=4, seed=0,
+            component_epochs=1, max_clusters=3,
+        ).fit(X, y, feature_names=names)
+        # every step is downstream-evaluated: baseline + episodes*steps
+        assert result.n_evaluations >= 1 + 2 * 2

@@ -1,0 +1,139 @@
+"""Tests for MI clustering (Eq. 2) and state representations (Fig 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import cluster_features, pairwise_cluster_distance
+from repro.core.state import STATE_DIM, describe_matrix, rep_operation
+
+
+class TestPairwiseDistance:
+    def test_shape_and_symmetry(self, rng):
+        X = rng.normal(size=(200, 5))
+        y = (X[:, 0] > 0).astype(int)
+        D = pairwise_cluster_distance(X, y)
+        assert D.shape == (5, 5)
+        assert np.allclose(D, D.T)
+        assert (D >= 0).all()
+
+    def test_redundant_relevant_pair_is_close(self, rng):
+        """Duplicated informative features → tiny Eq. 2 distance."""
+        base = rng.normal(size=400)
+        X = np.column_stack([base, base + 0.01 * rng.normal(size=400), rng.normal(size=400)])
+        y = (base > 0).astype(int)
+        D = pairwise_cluster_distance(X, y)
+        assert D[0, 1] < D[0, 2]
+        assert D[0, 1] < D[1, 2]
+
+    def test_row_subsampling(self, rng):
+        X = rng.normal(size=(5000, 3))
+        y = rng.integers(0, 2, 5000)
+        D = pairwise_cluster_distance(X, y, max_rows=100)
+        assert np.isfinite(D).all()
+
+
+class TestClusterFeatures:
+    def test_partition_property(self, rng):
+        X = rng.normal(size=(150, 8))
+        y = (X[:, 0] > 0).astype(int)
+        clusters = cluster_features(X, y)
+        flattened = sorted(c for cluster in clusters for c in cluster)
+        assert flattened == list(range(8))
+
+    def test_duplicates_merge(self, rng):
+        base = rng.normal(size=300)
+        X = np.column_stack(
+            [base, base + 0.01 * rng.normal(size=300), rng.normal(size=300),
+             rng.normal(size=300) * 5]
+        )
+        y = (base > 0).astype(int)
+        clusters = cluster_features(X, y, distance_threshold="auto")
+        cluster_of = {c: i for i, cl in enumerate(clusters) for c in cl}
+        assert cluster_of[0] == cluster_of[1]
+
+    def test_max_clusters_budget(self, rng):
+        X = rng.normal(size=(100, 10))
+        y = rng.integers(0, 2, 100)
+        clusters = cluster_features(X, y, max_clusters=3)
+        assert len(clusters) <= 3
+
+    def test_min_clusters_floor(self, rng):
+        X = rng.normal(size=(100, 6))
+        y = rng.integers(0, 2, 100)
+        clusters = cluster_features(X, y, distance_threshold=1e12, min_clusters=2)
+        assert len(clusters) >= 2
+
+    def test_single_feature(self, rng):
+        clusters = cluster_features(rng.normal(size=(50, 1)), rng.integers(0, 2, 50))
+        assert clusters == [[0]]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            cluster_features(np.empty((10, 0)), np.zeros(10))
+
+    def test_explicit_threshold(self, rng):
+        X = rng.normal(size=(100, 5))
+        y = rng.integers(0, 2, 100)
+        many = cluster_features(X, y, distance_threshold=0.0)
+        few = cluster_features(X, y, distance_threshold=1e9, min_clusters=1)
+        assert len(many) >= len(few)
+
+    def test_regression_task(self, rng):
+        X = rng.normal(size=(100, 4))
+        y = X[:, 0] * 2.0
+        clusters = cluster_features(X, y, task="regression")
+        assert sorted(c for cl in clusters for c in cl) == list(range(4))
+
+
+class TestStateRepresentation:
+    def test_dimension_is_49(self, rng):
+        for shape in [(30, 1), (30, 5), (100, 20)]:
+            assert describe_matrix(rng.normal(size=shape)).shape == (STATE_DIM,)
+
+    def test_1d_input_promoted(self, rng):
+        assert describe_matrix(rng.normal(size=40)).shape == (STATE_DIM,)
+
+    def test_bounded_under_extreme_values(self):
+        X = np.array([[1e30, -1e30], [1e30, -1e30]])
+        rep = describe_matrix(X)
+        assert np.isfinite(rep).all()
+        assert np.abs(rep).max() < 100  # signed-log compression
+
+    def test_distinguishes_distributions(self, rng):
+        a = describe_matrix(rng.normal(size=(100, 3)))
+        b = describe_matrix(rng.normal(10.0, 5.0, size=(100, 3)))
+        assert not np.allclose(a, b)
+
+    def test_deterministic(self, rng):
+        X = rng.normal(size=(50, 4))
+        assert np.allclose(describe_matrix(X), describe_matrix(X))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            describe_matrix(np.empty((0, 0)))
+
+    def test_nan_input_handled(self):
+        X = np.array([[np.nan, 1.0], [2.0, np.inf]])
+        assert np.isfinite(describe_matrix(X)).all()
+
+    @given(st.integers(2, 50), st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_fixed_dim_for_any_shape(self, n, d):
+        rng = np.random.default_rng(n * d)
+        assert describe_matrix(rng.normal(size=(n, d))).shape == (STATE_DIM,)
+
+
+class TestRepOperation:
+    def test_one_hot(self):
+        onehot = rep_operation(2, 5)
+        assert onehot.tolist() == [0, 0, 1, 0, 0]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            rep_operation(5, 5)
+        with pytest.raises(ValueError):
+            rep_operation(-1, 5)

@@ -1,0 +1,218 @@
+"""Tests for the Performance Predictor, Novelty Estimator and reward schedule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.novelty import NoveltyEstimator, novelty_distance
+from repro.core.operations import OPERATION_NAMES
+from repro.core.predictor import PerformancePredictor, SequenceRegressor, make_encoder
+from repro.core.reward import NoveltyWeightSchedule, downstream_reward, pseudo_reward
+from repro.core.tokens import TokenVocabulary
+
+VOCAB = TokenVocabulary(OPERATION_NAMES, n_feature_slots=32)
+
+
+def random_sequences(rng, n, max_len=20):
+    out = []
+    for _ in range(n):
+        body = rng.integers(4, len(VOCAB), size=rng.integers(2, max_len)).tolist()
+        out.append(VOCAB.finalize(body))
+    return out
+
+
+class TestPerformancePredictor:
+    def test_predict_scalar(self, rng):
+        pp = PerformancePredictor(len(VOCAB), seed=0)
+        value = pp.predict(random_sequences(rng, 1)[0])
+        assert isinstance(value, float)
+        assert np.isfinite(value)
+
+    def test_fit_reduces_loss(self, rng):
+        pp = PerformancePredictor(len(VOCAB), embed_dim=16, hidden_dim=16, num_layers=1, seed=0)
+        seqs = random_sequences(rng, 12)
+        scores = rng.uniform(0, 1, size=12)
+        first = pp.fit(seqs, scores, epochs=1, rng=rng)
+        for _ in range(6):
+            last = pp.fit(seqs, scores, epochs=5, rng=rng)
+        assert last < first
+
+    def test_fit_learns_sequence_signal(self, rng):
+        """Score = normalized count of a marker token — learnable from tokens."""
+        pp = PerformancePredictor(len(VOCAB), embed_dim=16, hidden_dim=16, num_layers=1, seed=0)
+        marker = VOCAB.op_token("add")
+        seqs, scores = [], []
+        for _ in range(20):
+            body = rng.integers(4, len(VOCAB), size=10).tolist()
+            seqs.append(VOCAB.finalize(body))
+            scores.append(body.count(marker) / 10.0)
+        pp.fit(seqs, np.array(scores), epochs=40, rng=rng)
+        preds = pp.predict_batch(seqs)
+        correlation = np.corrcoef(preds, scores)[0, 1]
+        assert correlation > 0.5
+
+    def test_batch_matches_single(self, rng):
+        pp = PerformancePredictor(len(VOCAB), seed=0)
+        seqs = random_sequences(rng, 4, max_len=8)
+        batch = pp.predict_batch(seqs)
+        singles = np.array([pp.predict(s) for s in seqs])
+        assert np.allclose(batch, singles, atol=1e-9)
+
+    def test_mismatched_fit_inputs_raise(self, rng):
+        pp = PerformancePredictor(len(VOCAB), seed=0)
+        with pytest.raises(ValueError):
+            pp.fit(random_sequences(rng, 3), np.zeros(2))
+        with pytest.raises(ValueError):
+            pp.fit([], np.zeros(0))
+
+    def test_memory_footprint_monotone_in_seq_len(self):
+        pp = PerformancePredictor(len(VOCAB), seed=0)
+        short = pp.memory_footprint(16)
+        long = pp.memory_footprint(256)
+        assert long["activation_bytes"] > short["activation_bytes"]
+        assert long["parameter_bytes"] == short["parameter_bytes"]
+
+    @pytest.mark.parametrize("seq_model", ["lstm", "rnn", "transformer"])
+    def test_all_encoders_work(self, seq_model, rng):
+        pp = PerformancePredictor(
+            len(VOCAB), seq_model=seq_model, embed_dim=8, hidden_dim=8, num_layers=1, seed=0
+        )
+        seqs = random_sequences(rng, 4, max_len=6)
+        pp.fit(seqs, np.ones(4) * 0.5, epochs=1, rng=rng)
+        assert np.isfinite(pp.predict(seqs[0]))
+
+    def test_bad_head_dims_raise(self):
+        with pytest.raises(ValueError):
+            SequenceRegressor(len(VOCAB), head_dims=(16, 4))
+
+    def test_unknown_encoder_raises(self):
+        with pytest.raises(ValueError):
+            make_encoder("gru", 10, 8, 8, 1, 0)
+
+
+class TestNoveltyEstimator:
+    def test_score_non_negative(self, rng):
+        ne = NoveltyEstimator(len(VOCAB), embed_dim=8, hidden_dim=8, num_layers=1, seed=0)
+        for seq in random_sequences(rng, 5, max_len=8):
+            assert ne.score(seq) >= 0.0
+
+    def test_target_network_frozen(self, rng):
+        ne = NoveltyEstimator(len(VOCAB), embed_dim=8, hidden_dim=8, num_layers=1, seed=0)
+        seqs = random_sequences(rng, 6, max_len=8)
+        before = [float(ne.target(s).data.ravel()[0]) for s in seqs]
+        ne.fit(seqs, epochs=5, rng=rng)
+        after = [float(ne.target(s).data.ravel()[0]) for s in seqs]
+        assert np.allclose(before, after)
+
+    def test_training_reduces_error_on_seen_sequences(self, rng):
+        ne = NoveltyEstimator(
+            len(VOCAB), embed_dim=8, hidden_dim=8, num_layers=1, orthogonal_gain=4.0, seed=0
+        )
+        seqs = random_sequences(rng, 10, max_len=8)
+        before = np.mean([ne.score(s) for s in seqs])
+        ne.fit(seqs, epochs=30, rng=rng)
+        after = np.mean([ne.score(s) for s in seqs])
+        assert after < before
+
+    def test_unexplored_token_region_more_novel(self, rng):
+        """RND's guarantee: distillation error stays high in *unexplored*
+        regions. Train on sequences over one half of the feature-token range
+        and probe the other half."""
+        ne = NoveltyEstimator(
+            len(VOCAB), embed_dim=8, hidden_dim=8, num_layers=1, orthogonal_gain=4.0, seed=0
+        )
+        lo, mid, hi = 4 + 14, 4 + 14 + 16, len(VOCAB)  # feature-token range halves
+
+        def region_sequences(generator, low, high, n=12):
+            return [
+                VOCAB.finalize(generator.integers(low, high, size=8).tolist())
+                for _ in range(n)
+            ]
+
+        seen = region_sequences(rng, lo, mid)
+        ne.fit(seen, epochs=60, rng=rng)
+        seen_scores = ne.score_batch(seen)
+        unseen_scores = ne.score_batch(region_sequences(np.random.default_rng(999), mid, hi))
+        assert np.median(unseen_scores) > np.median(seen_scores)
+
+    def test_embedding_shape(self, rng):
+        ne = NoveltyEstimator(len(VOCAB), embed_dim=8, hidden_dim=8, num_layers=1, seed=0)
+        emb = ne.embedding(random_sequences(rng, 1)[0])
+        assert emb.shape == (8,)
+
+    def test_fit_empty_raises(self):
+        ne = NoveltyEstimator(len(VOCAB), seed=0)
+        with pytest.raises(ValueError):
+            ne.fit([])
+
+
+class TestNoveltyDistance:
+    def test_no_history_is_max(self, rng):
+        assert novelty_distance(rng.normal(size=8), None) == 1.0
+        assert novelty_distance(rng.normal(size=8), np.empty((0, 8))) == 1.0
+
+    def test_identical_embedding_zero(self, rng):
+        e = rng.normal(size=8)
+        assert novelty_distance(e, np.stack([e])) == pytest.approx(0.0, abs=1e-12)
+
+    def test_orthogonal_embedding_one(self):
+        e = np.array([1.0, 0.0])
+        history = np.array([[0.0, 1.0]])
+        assert novelty_distance(e, history) == pytest.approx(1.0)
+
+    def test_min_over_history(self, rng):
+        e = rng.normal(size=4)
+        history = np.stack([e, rng.normal(size=4)])
+        assert novelty_distance(e, history) == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_embedding_safe(self):
+        assert novelty_distance(np.zeros(4), np.ones((2, 4))) == 1.0
+
+
+class TestRewardSchedule:
+    def test_boundary_values(self):
+        sched = NoveltyWeightSchedule(start=0.1, end=0.005, decay_steps=1000)
+        assert sched.weight(0) == pytest.approx(0.1)
+        assert sched.weight(10**7) == pytest.approx(0.005, abs=1e-6)
+
+    def test_monotone_decreasing(self):
+        sched = NoveltyWeightSchedule(0.1, 0.005, 100)
+        weights = [sched.weight(i) for i in range(0, 1000, 50)]
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_paper_defaults_at_decay_steps(self):
+        sched = NoveltyWeightSchedule()
+        expected = 0.005 + (0.1 - 0.005) * np.exp(-1)
+        assert sched.weight(1000) == pytest.approx(expected)
+
+    def test_negative_step_raises(self):
+        with pytest.raises(ValueError):
+            NoveltyWeightSchedule().weight(-1)
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            NoveltyWeightSchedule(decay_steps=0)
+        with pytest.raises(ValueError):
+            NoveltyWeightSchedule(start=-0.1)
+
+    @given(st.integers(0, 10000))
+    @settings(max_examples=50, deadline=None)
+    def test_weight_within_bounds(self, step):
+        sched = NoveltyWeightSchedule(0.1, 0.005, 1000)
+        assert 0.005 <= sched.weight(step) <= 0.1 + 1e-12
+
+
+class TestRewardFunctions:
+    def test_downstream_reward_is_delta(self):
+        assert downstream_reward(0.8, 0.7) == pytest.approx(0.1)
+
+    def test_pseudo_reward_composition(self):
+        r = pseudo_reward(0.8, 0.7, novelty=2.0, novelty_weight=0.1)
+        assert r == pytest.approx(0.1 + 0.2)
+
+    def test_negative_novelty_raises(self):
+        with pytest.raises(ValueError):
+            pseudo_reward(0.5, 0.5, novelty=-1.0, novelty_weight=0.1)

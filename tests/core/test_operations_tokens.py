@@ -1,0 +1,146 @@
+"""Tests for the operation set and the token vocabulary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.operations import (
+    BINARY_OPERATIONS,
+    OPERATION_NAMES,
+    OPERATIONS,
+    UNARY_OPERATIONS,
+    get_operation,
+)
+from repro.core.tokens import TokenVocabulary
+
+
+class TestOperations:
+    def test_registry_partitions(self):
+        assert len(OPERATIONS) == len(UNARY_OPERATIONS) + len(BINARY_OPERATIONS)
+        assert all(op.arity == 1 for op in UNARY_OPERATIONS)
+        assert all(op.arity == 2 for op in BINARY_OPERATIONS)
+        assert len(set(OPERATION_NAMES)) == len(OPERATION_NAMES)
+
+    def test_lookup(self):
+        assert get_operation("add").arity == 2
+        with pytest.raises(KeyError):
+            get_operation("integrate")
+
+    def test_arity_enforced(self):
+        with pytest.raises(ValueError):
+            get_operation("add")(np.ones(3))
+        with pytest.raises(ValueError):
+            get_operation("log")(np.ones(3), np.ones(3))
+
+    def test_divide_by_zero_safe(self):
+        out = get_operation("divide")(np.array([1.0]), np.array([0.0]))
+        assert np.isfinite(out).all()
+
+    def test_log_of_negative_safe(self):
+        out = get_operation("log")(np.array([-5.0, 0.0]))
+        assert np.isfinite(out).all()
+        assert out[0] == pytest.approx(np.log(6.0))
+
+    def test_exp_overflow_clipped(self):
+        out = get_operation("exp")(np.array([1e6]))
+        assert np.isfinite(out).all()
+
+    def test_sqrt_of_negative_uses_abs(self):
+        assert get_operation("sqrt")(np.array([-4.0]))[0] == pytest.approx(2.0)
+
+    def test_reciprocal_of_zero_safe(self):
+        assert np.isfinite(get_operation("reciprocal")(np.array([0.0]))).all()
+
+    def test_format_templates(self):
+        assert get_operation("add").format("a", "b") == "(a+b)"
+        assert get_operation("square").format("x") == "(x)^2"
+
+    @given(
+        st.sampled_from(OPERATION_NAMES),
+        hnp.arrays(np.float64, st.integers(1, 30), elements=st.floats(-1e6, 1e6)),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_all_ops_finite_on_finite_input(self, name, values):
+        op = get_operation(name)
+        args = [values] * op.arity
+        assert np.isfinite(op(*args)).all()
+
+    def test_binary_shapes_broadcastable(self, rng):
+        a, b = rng.normal(size=50), rng.normal(size=50)
+        for op in BINARY_OPERATIONS:
+            assert op(a, b).shape == (50,)
+
+
+class TestTokenVocabulary:
+    def test_layout(self):
+        vocab = TokenVocabulary(["add", "log"], n_feature_slots=10)
+        assert len(vocab) == 4 + 2 + 10
+        assert vocab.op_token("add") == 4
+        assert vocab.op_token("log") == 5
+        assert vocab.feature_token(0) == 6
+        assert vocab.feature_token(9) == 15
+
+    def test_feature_slot_wraparound(self):
+        vocab = TokenVocabulary(["add"], n_feature_slots=4)
+        assert vocab.feature_token(4) == vocab.feature_token(0)
+
+    def test_describe(self):
+        vocab = TokenVocabulary(["add"], n_feature_slots=4)
+        assert vocab.describe(vocab.SOS) == "<sos>"
+        assert vocab.describe(vocab.op_token("add")) == "add"
+        assert vocab.describe(vocab.feature_token(2)) == "f[2]"
+        with pytest.raises(ValueError):
+            vocab.describe(len(vocab))
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            TokenVocabulary(["add"]).op_token("mul")
+
+    def test_duplicate_ops_raise(self):
+        with pytest.raises(ValueError):
+            TokenVocabulary(["add", "add"])
+
+    def test_negative_feature_raises(self):
+        with pytest.raises(ValueError):
+            TokenVocabulary(["add"]).feature_token(-1)
+
+    def test_step_tokens_binary(self):
+        vocab = TokenVocabulary(["add"], n_feature_slots=8)
+        tokens = vocab.step_tokens("add", [0, 1], [2])
+        assert tokens == [
+            vocab.feature_token(0),
+            vocab.feature_token(1),
+            vocab.op_token("add"),
+            vocab.feature_token(2),
+            vocab.SEP,
+        ]
+
+    def test_step_tokens_unary(self):
+        vocab = TokenVocabulary(["log"], n_feature_slots=8)
+        tokens = vocab.step_tokens("log", [3])
+        assert tokens == [vocab.feature_token(3), vocab.op_token("log"), vocab.SEP]
+
+    def test_finalize_wraps(self):
+        vocab = TokenVocabulary(["add"])
+        seq = vocab.finalize([10, 11])
+        assert seq[0] == vocab.SOS and seq[-1] == vocab.EOS
+        assert seq.tolist() == [vocab.SOS, 10, 11, vocab.EOS]
+
+    def test_finalize_truncates_oldest(self):
+        vocab = TokenVocabulary(["add"])
+        seq = vocab.finalize(list(range(10, 30)), max_len=8)
+        assert len(seq) == 8
+        assert seq[0] == vocab.SOS and seq[-1] == vocab.EOS
+        # keeps the most recent body tokens
+        assert seq[-2] == 29
+
+    @given(st.integers(3, 64), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_finalize_length_bounded(self, max_len, body_len):
+        vocab = TokenVocabulary(["add"])
+        seq = vocab.finalize([vocab.SEP] * body_len, max_len=max_len)
+        assert len(seq) <= max(max_len, 2)

@@ -1,0 +1,93 @@
+"""Tests for feature-space deduplication and plan serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sequence import FeatureSpace, TransformationPlan
+
+
+@pytest.fixture
+def space(rng):
+    X = rng.normal(size=(40, 3))
+    return FeatureSpace(X, ["a", "b", "c"]), X
+
+
+class TestDeduplication:
+    def test_unary_duplicate_skipped(self, space):
+        fs, _ = space
+        first = fs.apply_unary("square", [0])
+        second = fs.apply_unary("square", [0])
+        assert len(first) == 1
+        assert second == []
+        assert fs.n_features == 4
+
+    def test_binary_duplicate_skipped(self, space):
+        fs, _ = space
+        assert len(fs.apply_binary("divide", [0], [1])) == 1
+        assert fs.apply_binary("divide", [0], [1]) == []
+
+    def test_commutative_twins_collapse(self, space):
+        """(a+b) and (b+a) are one feature; (a-b) and (b-a) are two."""
+        fs, _ = space
+        assert len(fs.apply_binary("add", [0], [1])) == 1
+        assert fs.apply_binary("add", [1], [0]) == []
+        assert len(fs.apply_binary("subtract", [0], [1])) == 1
+        assert len(fs.apply_binary("subtract", [1], [0])) == 1
+
+    def test_commutative_pairs_deduped_within_call(self, space):
+        fs, _ = space
+        new = fs.apply_binary("multiply", [0, 1], [0, 1])
+        assert len(new) == 1  # only (0,1); (1,0) is its twin
+
+    def test_duplicate_allowed_after_prune(self, space):
+        """A pruned derivation may be regenerated (it is no longer live)."""
+        fs, _ = space
+        fid = fs.apply_unary("log", [0])[0]
+        fs.prune([0, 1, 2])
+        assert len(fs.apply_unary("log", [0])) == 1
+
+    def test_non_commutative_order_matters(self, space):
+        fs, X = space
+        d1 = fs.apply_binary("divide", [0], [1])[0]
+        d2 = fs.apply_binary("divide", [1], [0])[0]
+        assert fs.expression(d1) != fs.expression(d2)
+
+
+class TestPlanSerialization:
+    def test_roundtrip_preserves_outputs(self, space):
+        fs, X = space
+        fs.apply_unary("tanh", [0])
+        fs.apply_binary("multiply", [1], [2])
+        plan = fs.snapshot()
+        restored = TransformationPlan.from_json(plan.to_json())
+        assert np.allclose(restored.apply(X), plan.apply(X))
+        assert restored.expressions() == plan.expressions()
+        assert restored.n_input_columns == plan.n_input_columns
+
+    def test_roundtrip_after_prune(self, space):
+        fs, X = space
+        mid = fs.apply_unary("square", [0])[0]
+        top = fs.apply_binary("add", [mid], [1])[0]
+        fs.prune([top])
+        restored = TransformationPlan.from_json(fs.snapshot().to_json())
+        assert np.allclose(restored.apply(X)[:, 0], X[:, 0] ** 2 + X[:, 1])
+
+    def test_json_is_plain_text(self, space):
+        fs, _ = space
+        text = fs.snapshot().to_json()
+        assert isinstance(text, str)
+        assert '"live_ids"' in text
+
+    def test_corrupt_json_raises(self):
+        with pytest.raises(ValueError):
+            TransformationPlan.from_json(
+                '{"n_input_columns": 2, "feature_names": ["a","b"], '
+                '"live_ids": [99], "nodes": []}'
+            )
+
+    def test_feature_names_preserved(self, space):
+        fs, _ = space
+        restored = TransformationPlan.from_json(fs.snapshot().to_json())
+        assert restored.feature_names == ["a", "b", "c"]

@@ -1,0 +1,67 @@
+"""Tests for FastFTResult.save / FastFTResult.load round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import FastFTConfig
+from repro.core.engine import FastFT, FastFTResult
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    rng = np.random.default_rng(11)
+    X = rng.normal(size=(120, 4))
+    y = (X[:, 0] * X[:, 1] > 0).astype(int)
+    cfg = FastFTConfig(
+        episodes=2, steps_per_episode=2, cold_start_episodes=1,
+        retrain_every_episodes=1, component_epochs=1, cv_splits=3,
+        rf_estimators=3, max_clusters=3, mi_max_rows=64, seed=0,
+    )
+    return FastFT(cfg).fit(X, y, task="classification"), X
+
+
+class TestResultRoundtrip:
+    def test_scores_and_task_preserved(self, run_result, tmp_path):
+        result, _ = run_result
+        path = tmp_path / "run.json"
+        result.save(str(path))
+        restored = FastFTResult.load(str(path))
+        assert restored.base_score == result.base_score
+        assert restored.best_score == result.best_score
+        assert restored.task == "classification"
+        assert restored.n_downstream_calls == result.n_downstream_calls
+
+    def test_plan_transform_identical(self, run_result, tmp_path):
+        result, X = run_result
+        path = tmp_path / "run.json"
+        result.save(str(path))
+        restored = FastFTResult.load(str(path))
+        assert np.allclose(restored.transform(X), result.transform(X))
+        assert restored.expressions() == result.expressions()
+
+    def test_history_preserved(self, run_result, tmp_path):
+        result, _ = run_result
+        path = tmp_path / "run.json"
+        result.save(str(path))
+        restored = FastFTResult.load(str(path))
+        assert len(restored.history) == len(result.history)
+        assert restored.history[0].op_name == result.history[0].op_name
+        assert restored.history[-1].reward == pytest.approx(result.history[-1].reward)
+
+    def test_config_tuple_fields_restored(self, run_result, tmp_path):
+        result, _ = run_result
+        path = tmp_path / "run.json"
+        result.save(str(path))
+        restored = FastFTResult.load(str(path))
+        assert restored.config.predictor_head_dims == (16, 1)
+        assert restored.config.novelty_head_dims == (16, 4, 1)
+        assert isinstance(restored.config.predictor_head_dims, tuple)
+
+    def test_time_breakdown_preserved(self, run_result, tmp_path):
+        result, _ = run_result
+        path = tmp_path / "run.json"
+        result.save(str(path))
+        restored = FastFTResult.load(str(path))
+        assert restored.time.overall == pytest.approx(result.time.overall)

@@ -1,0 +1,167 @@
+"""Tests for FeatureSpace and TransformationPlan (traceability backbone)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.operations import BINARY_OPERATIONS, UNARY_OPERATIONS
+from repro.core.sequence import FeatureSpace
+
+
+@pytest.fixture
+def space(rng):
+    X = rng.normal(size=(50, 3))
+    return FeatureSpace(X, ["a", "b", "c"]), X
+
+
+class TestFeatureSpace:
+    def test_initial_state(self, space):
+        fs, X = space
+        assert fs.n_features == 3
+        assert fs.n_samples == 50
+        assert np.allclose(fs.matrix(), X)
+        assert fs.original_ids == (0, 1, 2)
+
+    def test_unary_application(self, space):
+        fs, X = space
+        new = fs.apply_unary("square", [0, 1])
+        assert len(new) == 2
+        assert fs.n_features == 5
+        assert np.allclose(fs.values(new[0]), X[:, 0] ** 2)
+
+    def test_binary_group_wise_crossing(self, space):
+        fs, X = space
+        new = fs.apply_binary("add", [0, 1], [2])
+        assert len(new) == 2  # |a_h| × |a_t|
+        assert np.allclose(fs.values(new[0]), X[:, 0] + X[:, 2])
+
+    def test_binary_skips_self_pairs(self, space):
+        fs, _ = space
+        new = fs.apply_binary("multiply", [0], [0, 1])
+        # (0,0) skipped because h == t and another pair exists
+        assert len(new) == 1
+
+    def test_binary_self_pair_fallback(self, space):
+        fs, X = space
+        new = fs.apply_binary("multiply", [0], [0])
+        assert len(new) == 1
+        assert np.allclose(fs.values(new[0]), X[:, 0] ** 2)
+
+    def test_max_new_caps_fanout(self, space):
+        fs, _ = space
+        new = fs.apply_binary("add", [0, 1, 2], [0, 1, 2], max_new=3,
+                              rng=np.random.default_rng(0))
+        assert len(new) == 3
+
+    def test_wrong_arity_raises(self, space):
+        fs, _ = space
+        with pytest.raises(ValueError):
+            fs.apply_unary("add", [0])
+        with pytest.raises(ValueError):
+            fs.apply_binary("log", [0], [1])
+
+    def test_prune_restricts_live_set(self, space):
+        fs, _ = space
+        new = fs.apply_unary("log", [0])
+        fs.prune([new[0], 1])
+        assert fs.n_features == 2
+        assert fs.live_ids == [new[0], 1]
+
+    def test_prune_to_empty_raises(self, space):
+        fs, _ = space
+        with pytest.raises(ValueError):
+            fs.prune([])
+
+    def test_expressions(self, space):
+        fs, _ = space
+        sq = fs.apply_unary("square", [0])[0]
+        total = fs.apply_binary("add", [sq], [1])[0]
+        assert fs.expression(sq) == "(a)^2"
+        # commutative operands are canonicalized by feature id: b (fid 1)
+        # precedes (a)^2 (fid 3)
+        assert fs.expression(total) == "(b+(a)^2)"
+
+    def test_generated_values_sanitized(self, rng):
+        X = rng.normal(size=(30, 2)) * 100
+        fs = FeatureSpace(X)
+        fid = fs.apply_unary("exp", fs.apply_unary("exp", [0]))[0]
+        assert np.isfinite(fs.values(fid)).all()
+
+    def test_feature_names_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            FeatureSpace(rng.normal(size=(10, 3)), ["only", "two"])
+
+
+class TestTransformationPlan:
+    def test_snapshot_reproduces_matrix(self, space):
+        fs, X = space
+        fs.apply_unary("tanh", [0])
+        fs.apply_binary("multiply", [1], [2])
+        plan = fs.snapshot()
+        assert np.allclose(plan.apply(X), fs.matrix(), atol=1e-9)
+
+    def test_plan_applies_to_new_data(self, space, rng):
+        fs, X = space
+        fs.apply_binary("divide", [0], [1])
+        plan = fs.snapshot()
+        X_new = rng.normal(size=(20, 3))
+        out = plan.apply(X_new)
+        assert out.shape == (20, 4)
+        assert np.allclose(out[:, 3], X_new[:, 0] / (X_new[:, 1] + np.where(X_new[:, 1] >= 0, 1e-6, -1e-6)), atol=1e-6)
+
+    def test_plan_survives_pruned_ancestors(self, space):
+        """Pruned intermediate features must still be computable via provenance."""
+        fs, X = space
+        mid = fs.apply_unary("square", [0])[0]
+        top = fs.apply_binary("add", [mid], [1])[0]
+        fs.prune([top])  # drop everything else, including mid and originals
+        plan = fs.snapshot()
+        out = plan.apply(X)
+        assert out.shape == (50, 1)
+        assert np.allclose(out[:, 0], X[:, 0] ** 2 + X[:, 1])
+
+    def test_column_count_mismatch_raises(self, space):
+        fs, _ = space
+        plan = fs.snapshot()
+        with pytest.raises(ValueError):
+            plan.apply(np.ones((5, 99)))
+
+    def test_expressions_align_with_columns(self, space):
+        fs, X = space
+        fs.apply_unary("log", [2])
+        plan = fs.snapshot()
+        exprs = plan.expressions()
+        assert len(exprs) == plan.n_features == 4
+        assert exprs[3] == "log(|c|+1)"
+
+    @given(st.lists(st.integers(0, 13), min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_random_program_roundtrip(self, op_choices):
+        """Any random op program yields a plan that reproduces the matrix."""
+        rng = np.random.default_rng(42)
+        X = rng.normal(size=(20, 3))
+        fs = FeatureSpace(X)
+        all_ops = UNARY_OPERATIONS + BINARY_OPERATIONS
+        for choice in op_choices:
+            op = all_ops[choice % len(all_ops)]
+            live = fs.live_ids
+            if op.arity == 1:
+                fs.apply_unary(op.name, [live[choice % len(live)]])
+            else:
+                fs.apply_binary(
+                    op.name,
+                    [live[choice % len(live)]],
+                    [live[(choice + 1) % len(live)]],
+                )
+        plan = fs.snapshot()
+        assert np.allclose(plan.apply(X), fs.matrix(), atol=1e-9)
+        assert len(plan.expressions()) == fs.n_features
+
+    def test_balanced_parentheses_in_expressions(self, space):
+        fs, _ = space
+        fs.apply_binary("divide", fs.apply_unary("square", [0]), [1])
+        for expr in fs.snapshot().expressions():
+            assert expr.count("(") == expr.count(")")

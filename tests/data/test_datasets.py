@@ -1,0 +1,153 @@
+"""Tests for the synthetic dataset generators and the 23-dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.registry import DATASET_SPECS, dataset_names, load_dataset
+from repro.data.synthesis import (
+    LatentInteraction,
+    make_classification,
+    make_detection,
+    make_regression,
+)
+from repro.ml.evaluation import DownstreamEvaluator
+
+
+class TestGenerators:
+    def test_classification_shapes_and_balance(self):
+        X, y = make_classification(600, 8, n_classes=3, seed=0)
+        assert X.shape == (600, 8)
+        counts = np.bincount(y)
+        assert len(counts) == 3
+        assert counts.min() > 150  # quantile binning keeps classes balanced
+
+    def test_classification_learnable(self):
+        X, y = make_classification(500, 6, seed=1)
+        score = DownstreamEvaluator("classification", n_splits=3)(X, y)
+        assert score > 0.55  # informative, but not trivial
+
+    def test_regression_normalized(self):
+        X, y = make_regression(400, 10, seed=0)
+        assert abs(y.mean()) < 0.1
+        assert y.std() == pytest.approx(1.0, abs=0.05)
+
+    def test_detection_contamination(self):
+        X, y = make_detection(2000, 5, contamination=0.08, seed=0)
+        assert 0.04 < y.mean() < 0.13
+        assert set(np.unique(y)) == {0, 1}
+
+    def test_detection_auc_headroom(self):
+        """Baseline AUC should be decent but leave room for engineered features."""
+        X, y = make_detection(1500, 6, seed=3)
+        auc = DownstreamEvaluator("detection", n_splits=3)(X, y)
+        assert 0.6 < auc < 0.999
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            make_classification(100, 4, n_classes=1)
+        with pytest.raises(ValueError):
+            make_detection(100, 4, contamination=0.9)
+
+    def test_seed_determinism(self):
+        X1, y1 = make_classification(100, 5, seed=42)
+        X2, y2 = make_classification(100, 5, seed=42)
+        assert np.allclose(X1, X2)
+        assert (y1 == y2).all()
+
+    def test_seed_sensitivity(self):
+        X1, _ = make_classification(100, 5, seed=1)
+        X2, _ = make_classification(100, 5, seed=2)
+        assert not np.allclose(X1, X2)
+
+    def test_all_generators_finite(self):
+        for maker in (make_classification, make_regression, make_detection):
+            X, y = maker(200, 7, seed=0)
+            assert np.isfinite(X).all()
+
+    @given(st.sampled_from(["product", "ratio", "log_product", "square_sum", "diff_square"]))
+    @settings(max_examples=10, deadline=None)
+    def test_interaction_forms_finite(self, form):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(50, 3))
+        term = LatentInteraction(form, 0, 1, 1.0)
+        assert np.isfinite(term.evaluate(X)).all()
+
+    def test_unknown_interaction_form_raises(self):
+        with pytest.raises(ValueError):
+            LatentInteraction("xor", 0, 1, 1.0).evaluate(np.ones((5, 2)))
+
+
+class TestRegistry:
+    def test_has_24_named_datasets(self):
+        # 23 Table I datasets + adult counted in the AutoML block = 24 rows.
+        assert len(DATASET_SPECS) == 24
+
+    def test_task_partition(self):
+        assert len(dataset_names("classification")) == 13
+        assert len(dataset_names("regression")) == 7
+        assert len(dataset_names("detection")) == 4
+
+    def test_feature_counts_match_paper(self):
+        assert DATASET_SPECS["cardiovascular"].n_features == 12
+        assert DATASET_SPECS["volkert"].n_features == 181
+        assert DATASET_SPECS["smtp"].n_features == 3
+        assert DATASET_SPECS["openml_618"].n_features == 50
+
+    def test_sample_counts_match_paper(self):
+        assert DATASET_SPECS["pima_indian"].n_samples == 768
+        assert DATASET_SPECS["albert"].n_samples == 425240
+        assert DATASET_SPECS["wbc"].n_samples == 278
+
+    def test_load_scales_samples_not_features(self):
+        ds = load_dataset("cardiovascular", scale=0.1, seed=0)
+        assert ds.n_samples == 500
+        assert ds.n_features == 12
+
+    def test_max_samples_cap(self):
+        ds = load_dataset("albert", scale=1.0, seed=0, max_samples=1000)
+        assert ds.n_samples == 1000
+
+    def test_minimum_floor(self):
+        ds = load_dataset("wbc", scale=0.0001, seed=0)
+        assert ds.n_samples >= 60
+
+    def test_named_features(self):
+        ds = load_dataset("cardiovascular", scale=0.05, seed=0)
+        assert "Weight" in ds.feature_names
+        assert "DBP" in ds.feature_names
+        assert len(ds.feature_names) == ds.n_features
+
+    def test_generic_names_fill(self):
+        ds = load_dataset("jannis", scale=0.01, seed=0)
+        assert ds.feature_names[0] == "f1"
+        assert len(ds.feature_names) == 55
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_dataset("mnist")
+
+    def test_bad_scale_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("wbc", scale=0.0)
+
+    def test_same_name_same_seed_deterministic(self):
+        a = load_dataset("thyroid", scale=0.1, seed=5)
+        b = load_dataset("thyroid", scale=0.1, seed=5)
+        assert np.allclose(a.X, b.X)
+
+    def test_different_datasets_differ(self):
+        a = load_dataset("openml_589", scale=0.2, seed=0)
+        b = load_dataset("openml_620", scale=0.2, seed=0)
+        assert a.X.shape == b.X.shape  # same spec shape
+        assert not np.allclose(a.X, b.X)
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_every_dataset_loads(self, name):
+        ds = load_dataset(name, scale=0.02, seed=0, max_samples=200)
+        assert ds.n_samples >= 60
+        assert np.isfinite(ds.X).all()
+        assert ds.task in ("classification", "regression", "detection")

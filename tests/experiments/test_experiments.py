@@ -1,0 +1,167 @@
+"""Tests for the experiment harnesses (profiles, runners, reports).
+
+Each run() is exercised with the SMOKE profile on the smallest sensible
+dataset subset — these are integration tests of the full stack, so keep the
+budgets tiny.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    DEFAULT,
+    FULL,
+    SMOKE,
+    make_baseline,
+    make_fastft_config,
+    run_baseline_on_dataset,
+    run_fastft_on_dataset,
+)
+from repro.experiments import (
+    fig6,
+    fig7,
+    fig8,
+    fig11,
+    fig12,
+    fig14,
+    fig15,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.experiments.harness import load_profile_dataset
+from repro.experiments.reporting import format_kv_block, format_table
+
+
+class TestProfilesAndHarness:
+    def test_full_matches_paper_settings(self):
+        assert FULL.episodes == 200
+        assert FULL.steps_per_episode == 15
+        assert FULL.cold_start_episodes == 10
+        assert FULL.cv_splits == 5
+        assert FULL.n_runs == 5
+
+    def test_make_fastft_config_applies_profile(self):
+        cfg = make_fastft_config(SMOKE, seed=1)
+        assert cfg.episodes == SMOKE.episodes
+        assert cfg.cv_splits == SMOKE.cv_splits
+        assert cfg.seed == 1
+
+    def test_make_fastft_config_overrides(self):
+        cfg = make_fastft_config(SMOKE, use_novelty=False, alpha=3.0)
+        assert not cfg.use_novelty
+        assert cfg.alpha == 3.0
+
+    def test_make_baseline_budgets(self):
+        rfg = make_baseline("rfg", SMOKE, seed=0)
+        assert rfg.n_rounds == SMOKE.baseline_kwargs["rfg"]["n_rounds"]
+        assert rfg.cv_splits == SMOKE.cv_splits
+
+    def test_make_baseline_unknown_raises(self):
+        with pytest.raises(KeyError):
+            make_baseline("autogluon", SMOKE)
+
+    def test_run_fastft_on_dataset(self):
+        ds = load_profile_dataset("pima_indian", SMOKE, seed=0)
+        result, wall = run_fastft_on_dataset(ds, SMOKE, seed=0)
+        assert wall > 0
+        assert np.isfinite(result.best_score)
+
+    def test_run_baseline_on_dataset(self):
+        ds = load_profile_dataset("pima_indian", SMOKE, seed=0)
+        res = run_baseline_on_dataset("rfg", ds, SMOKE, seed=0)
+        assert np.isfinite(res.best_score)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "333" in out
+
+    def test_format_table_row_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["1", "2"]])
+
+    def test_format_kv_block(self):
+        out = format_kv_block("Block", {"x": 1, "long_key": 2})
+        assert "x        : 1" in out
+
+
+class TestExperimentRuns:
+    def test_table1_minimal(self):
+        data = table1.run(SMOKE, seed=0, datasets=["pima_indian"], methods=["rfg", "fastft"])
+        assert data["scores"]["pima_indian"]["fastft"]
+        report = table1.format_report(data)
+        assert "pima_indian" in report and "FASTFT" in report
+
+    def test_table2_minimal(self):
+        data = table2.run(SMOKE, seed=0, datasets=["pima_indian"])
+        row = data["rows"]["pima_indian"]
+        assert row["fastft"]["overall"] > 0
+        assert row["fastft_no_pp"]["evaluation"] > 0
+        assert "Table II" in table2.format_report(data)
+
+    def test_table3_minimal(self):
+        data = table3.run(SMOKE, seed=0, methods=["lda", "fastft"])
+        assert set(data["table"]) == {"lda", "fastft"}
+        assert set(data["table"]["fastft"]) == set(data["models"])
+        assert "Ridge-C" in table3.format_report(data)
+
+    def test_table4_minimal(self):
+        data = table4.run(SMOKE, seed=0, top_k=5)
+        assert len(data["original"]) == 5
+        assert len(data["transformed"]) <= 5
+        assert 0 < data["original_sum"] <= 1.0
+        assert "Table IV" in table4.format_report(data)
+
+    def test_fig6_minimal(self):
+        data = fig6.run(SMOKE, seed=0, datasets=["pima_indian"])
+        assert set(data["scores"]["pima_indian"]) == set(fig6.ARMS)
+        assert "FastFT-NE" in fig6.format_report(data)
+
+    def test_fig7_minimal(self):
+        data = fig7.run(
+            SMOKE, seed=0, dataset_name="pima_indian", frameworks=["actor_critic", "dqn"]
+        )
+        assert len(data["curves"]["actor_critic"]) == SMOKE.episodes
+        assert "actor_critic" in fig7.format_report(data)
+
+    def test_fig8_minimal(self):
+        data = fig8.run(SMOKE, seed=0, dataset_name="pima_indian", seq_models=["lstm", "rnn"])
+        assert data["rows"]["lstm"]["estimation_time"] >= 0
+        assert "lstm" in fig8.format_report(data)
+
+    def test_fig11_memory_curve_monotone(self):
+        data = fig11.run(SMOKE, seed=0, seq_lengths=[16, 64, 256])
+        totals = [p["total_bytes"] for p in data["memory_curve"]]
+        assert totals == sorted(totals)
+        assert "Fig 11" in fig11.format_report(data)
+
+    def test_fig12_zero_thresholds_eliminate_exploration_evals(self):
+        data = fig12.run(
+            SMOKE,
+            seed=0,
+            dataset_name="pima_indian",
+            alpha_values=[0.0, 20.0],
+            beta_values=[5.0],
+        )
+        zero, high = data["alpha_sweep"]
+        assert zero["n_downstream_calls"] <= high["n_downstream_calls"]
+        assert "Fig 12" in fig12.format_report(data)
+
+    def test_fig14_minimal(self):
+        data = fig14.run(SMOKE, seed=0, dataset_name="pima_indian")
+        assert set(data["arms"]) == {"FastFT", "FastFT-NE"}
+        assert data["arms"]["FastFT"]["final_unencountered"] > 0
+        assert "novelty" in fig14.format_report(data).lower()
+
+    def test_fig15_minimal(self):
+        data = fig15.run(SMOKE, seed=0, top_k=3)
+        assert len(data["peaks"]) == 3
+        report = fig15.format_report(data)
+        assert "reward peaks" in report.lower() or "Fig 15" in report

@@ -1,0 +1,35 @@
+"""Tests for the noise-robustness extension experiment."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import SMOKE, ext_noise
+
+
+class TestExtNoise:
+    def test_run_schema(self):
+        data = ext_noise.run(SMOKE, seed=0, dataset_name="pima_indian",
+                             noise_levels=[0.0, 0.3])
+        assert [r["noise"] for r in data["rows"]] == [0.0, 0.3]
+        for row in data["rows"]:
+            assert {"raw", "fastft", "erg"} <= set(row)
+            assert all(np.isfinite(v) for k, v in row.items())
+
+    def test_zero_noise_matches_clean_data(self):
+        data = ext_noise.run(SMOKE, seed=0, dataset_name="pima_indian", noise_levels=[0.0])
+        # With σ=0 the "noisy" evaluation is the plain evaluation; scores
+        # must be plausible task scores, not degenerate values.
+        row = data["rows"][0]
+        assert 0.0 <= row["fastft"] <= 1.0
+
+    def test_custom_baseline(self):
+        data = ext_noise.run(
+            SMOKE, seed=0, dataset_name="pima_indian", noise_levels=[0.0], baseline="rfg"
+        )
+        assert data["baseline"] == "rfg"
+        assert "rfg" in data["rows"][0]
+
+    def test_report_mentions_noise(self):
+        data = ext_noise.run(SMOKE, seed=0, dataset_name="pima_indian", noise_levels=[0.0])
+        assert "noise" in ext_noise.format_report(data).lower()

@@ -1,0 +1,64 @@
+"""Schema tests for the experiment modules only exercised by benches so far."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import SMOKE, fig9, fig10, fig13
+from repro.experiments.fig14 import post_hoc_novelty_distances
+
+
+class TestFig9Schema:
+    def test_points_per_method(self):
+        data = fig9.run(SMOKE, seed=0, datasets=["pima_indian"], methods=["lda", "fastft"])
+        points = data["points"]["pima_indian"]
+        assert set(points) == {"lda", "fastft"}
+        for wall, score in points.values():
+            assert wall > 0 and np.isfinite(score)
+        assert "lda" in fig9.format_report(data)
+
+
+class TestFig10Schema:
+    def test_sizes_monotone_and_rows_aligned(self):
+        data = fig10.run(
+            SMOKE, seed=0, scales=[0.02, 0.05], methods=["fastft", "openfe"]
+        )
+        assert data["sizes"] == sorted(data["sizes"])
+        assert len(data["times"]["fastft"]) == 2
+        assert len(data["scores"]["openfe"]) == 2
+        assert "fastft" in fig10.format_report(data)
+
+
+class TestFig13Schema:
+    def test_sweep_structure(self):
+        data = fig13.run(
+            SMOKE,
+            seed=0,
+            datasets=["pima_indian"],
+            novelty_weights=[0.1],
+            decay_steps=[100],
+            memory_sizes=[8],
+        )
+        assert set(data["sweeps"]) == {"epsilon_s", "decay_M", "memory_S"}
+        for per_dataset in data["sweeps"].values():
+            points = per_dataset["pima_indian"]
+            assert len(points) == 1
+            assert np.isfinite(points[0]["score"])
+
+
+class TestPostHocNoveltyDistances:
+    def test_first_sequence_is_maximally_novel(self):
+        sequences = [[1, 5, 2], [1, 5, 2], [1, 9, 2]]
+        distances = post_hoc_novelty_distances(sequences, vocab_size=32, seed=0)
+        assert distances[0] == 1.0
+        # Exact repeat has ~zero distance to its twin.
+        assert distances[1] == pytest.approx(0.0, abs=1e-9)
+        # A different sequence is more novel than the exact repeat.
+        assert distances[2] > distances[1]
+
+    def test_deterministic_given_seed(self):
+        sequences = [[1, 2, 3], [3, 2, 1]]
+        a = post_hoc_novelty_distances(sequences, vocab_size=16, seed=4)
+        b = post_hoc_novelty_distances(sequences, vocab_size=16, seed=4)
+        assert a == b

@@ -1,0 +1,93 @@
+"""Tests for the feature-selection substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.feature_selection import SelectKBest, VarianceThreshold, mrmr_select
+
+
+class TestVarianceThreshold:
+    def test_drops_constant_columns(self, rng):
+        X = np.column_stack([rng.normal(size=50), np.full(50, 3.0), rng.normal(size=50)])
+        out = VarianceThreshold().fit_transform(X)
+        assert out.shape == (50, 2)
+
+    def test_all_constant_keeps_one(self):
+        X = np.ones((20, 3))
+        out = VarianceThreshold().fit_transform(X)
+        assert out.shape == (20, 1)
+
+    def test_threshold_value(self, rng):
+        X = np.column_stack([rng.normal(0, 0.01, 100), rng.normal(0, 10.0, 100)])
+        selector = VarianceThreshold(threshold=1.0).fit(X)
+        assert selector.get_support().tolist() == [False, True]
+
+    def test_negative_threshold_raises(self):
+        with pytest.raises(ValueError):
+            VarianceThreshold(threshold=-1)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            VarianceThreshold().transform(np.ones((2, 2)))
+
+
+class TestSelectKBest:
+    def test_keeps_informative_columns(self, rng):
+        X = rng.normal(size=(400, 5))
+        y = (X[:, 1] + X[:, 3] > 0).astype(int)
+        selector = SelectKBest(k=2).fit(X, y)
+        assert set(np.where(selector.get_support())[0]) == {1, 3}
+
+    def test_k_capped_at_columns(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = rng.integers(0, 2, 100)
+        out = SelectKBest(k=10).fit_transform(X, y)
+        assert out.shape == (100, 3)
+
+    def test_regression_task(self, rng):
+        X = rng.normal(size=(300, 4))
+        y = X[:, 2] * 3.0
+        selector = SelectKBest(k=1, task="regression").fit(X, y)
+        assert np.where(selector.get_support())[0].tolist() == [2]
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            SelectKBest(k=0)
+
+    def test_scores_exposed(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = rng.integers(0, 2, 100)
+        selector = SelectKBest(k=2).fit(X, y)
+        assert selector.scores_.shape == (3,)
+
+
+class TestMRMR:
+    def test_prefers_nonredundant_set(self, rng):
+        """Given a duplicated informative column, mRMR picks the duplicate last."""
+        base = rng.normal(size=500)
+        other = rng.normal(size=500)
+        X = np.column_stack([base, base + 0.01 * rng.normal(size=500), other])
+        y = ((base > 0) ^ (other > 0)).astype(int)
+        picked = mrmr_select(X, y, k=2)
+        assert set(picked) == {0, 2} or set(picked) == {1, 2}
+
+    def test_first_pick_is_most_relevant(self, rng):
+        X = rng.normal(size=(400, 4))
+        y = (X[:, 2] > 0).astype(int)
+        assert mrmr_select(X, y, k=3)[0] == 2
+
+    def test_k_bounds(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = rng.integers(0, 2, 100)
+        assert len(mrmr_select(X, y, k=99)) == 3
+        with pytest.raises(ValueError):
+            mrmr_select(X, y, k=0)
+
+    def test_order_is_pick_order(self, rng):
+        X = rng.normal(size=(200, 5))
+        y = (X[:, 0] > 0).astype(int)
+        picked = mrmr_select(X, y, k=5)
+        assert sorted(picked) == [0, 1, 2, 3, 4]
+        assert len(set(picked)) == 5

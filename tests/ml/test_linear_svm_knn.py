@@ -1,0 +1,159 @@
+"""Tests for linear models, SVM and k-NN."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.base import clone
+from repro.ml.linear import LinearRegression, LogisticRegression, RidgeClassifier, RidgeRegression
+from repro.ml.neighbors import KNeighborsClassifier, KNeighborsRegressor
+from repro.ml.svm import LinearSVMClassifier
+
+
+class TestLogisticRegression:
+    def test_separable_data(self, binary_data):
+        X, y = binary_data
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_multiclass(self, multiclass_data):
+        X, y = multiclass_data
+        model = LogisticRegression().fit(X, y)
+        assert model.score(X, y) > 0.55
+
+    def test_proba_rows_sum_to_one(self, binary_data):
+        X, y = binary_data
+        proba = LogisticRegression().fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_regularization_shrinks_weights(self, binary_data):
+        X, y = binary_data
+        loose = LogisticRegression(C=100.0).fit(X, y)
+        tight = LogisticRegression(C=0.01).fit(X, y)
+        assert np.abs(tight.coef_).sum() < np.abs(loose.coef_).sum()
+
+    def test_invalid_c_raises(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(C=0)
+
+    def test_scale_invariance_of_predictions(self, binary_data):
+        """Internal standardization should make huge feature scales harmless."""
+        X, y = binary_data
+        base = LogisticRegression().fit(X, y).predict(X)
+        scaled = LogisticRegression().fit(X * 1e6, y).predict(X * 1e6)
+        assert np.mean(base == scaled) > 0.95
+
+
+class TestLinearRegression:
+    def test_recovers_exact_linear_map(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = 2.0 * X[:, 0] - 1.0 * X[:, 1] + 0.5
+        model = LinearRegression().fit(X, y)
+        assert model.coef_ == pytest.approx([2.0, -1.0, 0.0], abs=1e-8)
+        assert model.intercept_ == pytest.approx(0.5, abs=1e-8)
+
+    def test_r2_perfect(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = X @ np.array([1.0, 2.0])
+        assert LinearRegression().fit(X, y).score(X, y) == pytest.approx(1.0)
+
+
+class TestRidge:
+    def test_alpha_zero_matches_ols_predictions(self, rng):
+        X = rng.normal(size=(80, 3))
+        y = X @ np.array([1.0, -2.0, 0.5]) + 0.1 * rng.normal(size=80)
+        ridge = RidgeRegression(alpha=1e-8).fit(X, y)
+        ols = LinearRegression().fit(X, y)
+        assert np.allclose(ridge.predict(X), ols.predict(X), atol=1e-4)
+
+    def test_large_alpha_shrinks_to_mean(self, rng):
+        X = rng.normal(size=(80, 3))
+        y = X[:, 0] * 3
+        ridge = RidgeRegression(alpha=1e9).fit(X, y)
+        assert np.allclose(ridge.predict(X), y.mean(), atol=0.05)
+
+    def test_negative_alpha_raises(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)
+
+    def test_ridge_classifier_binary(self, binary_data):
+        X, y = binary_data
+        model = RidgeClassifier().fit(X, y)
+        assert model.score(X, y) > 0.85
+
+    def test_ridge_classifier_multiclass_proba(self, multiclass_data):
+        X, y = multiclass_data
+        proba = RidgeClassifier().fit(X, y).predict_proba(X)
+        assert proba.shape == (len(X), 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestLinearSVM:
+    def test_separable_data(self, binary_data):
+        X, y = binary_data
+        model = LinearSVMClassifier().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_multiclass_ovr(self, multiclass_data):
+        X, y = multiclass_data
+        model = LinearSVMClassifier().fit(X, y)
+        assert model.decision_function(X).shape == (len(X), 3)
+        assert model.score(X, y) > 0.5
+
+    def test_proba_bounded(self, binary_data):
+        X, y = binary_data
+        proba = LinearSVMClassifier().fit(X, y).predict_proba(X)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_margin_sign_matches_prediction(self, binary_data):
+        X, y = binary_data
+        model = LinearSVMClassifier().fit(X, y)
+        scores = model.decision_function(X)
+        assert ((scores > 0) == (model.predict(X) == model.classes_[1])).all()
+
+
+class TestKNN:
+    def test_k1_memorizes_training_data(self, binary_data):
+        X, y = binary_data
+        model = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_k_larger_than_n_ok(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0, 1, 1])
+        model = KNeighborsClassifier(n_neighbors=10).fit(X, y)
+        assert model.predict(np.array([[1.5]]))[0] == 1
+
+    def test_regressor_interpolates(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 10.0])
+        model = KNeighborsRegressor(n_neighbors=2).fit(X, y)
+        assert model.predict(np.array([[0.5]]))[0] == pytest.approx(5.0)
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0)
+
+
+class TestEstimatorProtocol:
+    @pytest.mark.parametrize(
+        "estimator",
+        [
+            LogisticRegression(C=2.0),
+            RidgeRegression(alpha=3.0),
+            LinearSVMClassifier(C=0.5),
+            KNeighborsClassifier(n_neighbors=7),
+        ],
+    )
+    def test_clone_preserves_params(self, estimator):
+        copy = clone(estimator)
+        assert type(copy) is type(estimator)
+        assert copy.get_params() == estimator.get_params()
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().set_params(bogus=1)
+
+    def test_repr_contains_params(self):
+        assert "C=2.0" in repr(LogisticRegression(C=2.0))

@@ -1,0 +1,134 @@
+"""Tests for mutual-information estimators and the downstream oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.evaluation import DownstreamEvaluator, default_metric_for_task, default_model_for_task
+from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
+from repro.ml.linear import LogisticRegression
+from repro.ml.metrics import f1_score, one_minus_rae, roc_auc_score
+from repro.ml.mutual_info import (
+    discrete_mutual_info,
+    mutual_info_features,
+    mutual_info_matrix,
+    mutual_info_with_target,
+)
+
+
+class TestDiscreteMI:
+    def test_identical_variables_equal_entropy(self):
+        x = np.array([0, 0, 1, 1, 2, 2])
+        mi = discrete_mutual_info(x, x)
+        entropy = -np.sum(np.full(3, 1 / 3) * np.log(1 / 3))
+        assert mi == pytest.approx(entropy)
+
+    def test_independent_variables_near_zero(self, rng):
+        a = rng.integers(0, 4, 5000)
+        b = rng.integers(0, 4, 5000)
+        assert discrete_mutual_info(a, b) < 0.01
+
+    def test_symmetry(self, rng):
+        a = rng.integers(0, 3, 500)
+        b = (a + rng.integers(0, 2, 500)) % 3
+        assert discrete_mutual_info(a, b) == pytest.approx(discrete_mutual_info(b, a))
+
+    def test_non_negative(self, rng):
+        for _ in range(10):
+            a = rng.integers(0, 5, 100)
+            b = rng.integers(0, 5, 100)
+            assert discrete_mutual_info(a, b) >= 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            discrete_mutual_info([0, 1], [0, 1, 2])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            discrete_mutual_info([], [])
+
+
+class TestMIWithTarget:
+    def test_informative_feature_ranks_first(self, rng):
+        X = rng.normal(size=(600, 3))
+        y = (X[:, 1] > 0).astype(int)
+        mi = mutual_info_with_target(X, y, task="classification")
+        assert np.argmax(mi) == 1
+
+    def test_regression_target_binned(self, rng):
+        X = rng.normal(size=(500, 2))
+        y = X[:, 0] * 3.0
+        mi = mutual_info_with_target(X, y, task="regression")
+        assert mi[0] > mi[1]
+
+    def test_feature_pair_mi(self, rng):
+        a = rng.normal(size=400)
+        b = a + 0.01 * rng.normal(size=400)
+        c = rng.normal(size=400)
+        assert mutual_info_features(a, b) > mutual_info_features(a, c)
+
+    def test_matrix_symmetric_with_positive_diagonal(self, rng):
+        X = rng.normal(size=(200, 4))
+        M = mutual_info_matrix(X)
+        assert np.allclose(M, M.T)
+        assert (np.diag(M) > 0).all()
+
+
+class TestDownstreamEvaluator:
+    def test_classification_uses_f1(self):
+        assert default_metric_for_task("classification") is f1_score
+        assert default_metric_for_task("regression") is one_minus_rae
+        assert default_metric_for_task("detection") is roc_auc_score
+
+    def test_default_models(self):
+        assert isinstance(default_model_for_task("classification"), RandomForestClassifier)
+        assert isinstance(default_model_for_task("regression"), RandomForestRegressor)
+        assert isinstance(default_model_for_task("detection"), RandomForestClassifier)
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(ValueError):
+            DownstreamEvaluator("ranking")
+        with pytest.raises(ValueError):
+            default_model_for_task("ranking")
+
+    def test_counters_accumulate(self, binary_data):
+        X, y = binary_data
+        ev = DownstreamEvaluator("classification", n_splits=3)
+        ev(X, y)
+        ev(X, y)
+        assert ev.n_calls == 2
+        assert ev.total_time > 0
+        ev.reset_counters()
+        assert ev.n_calls == 0 and ev.total_time == 0.0
+
+    def test_good_features_score_higher(self, rng):
+        X = rng.normal(size=(300, 4))
+        y = (X[:, 0] * X[:, 1] > 0).astype(int)
+        ev = DownstreamEvaluator("classification", n_splits=3)
+        base = ev(X, y)
+        engineered = ev(np.column_stack([X, X[:, 0] * X[:, 1]]), y)
+        assert engineered > base
+
+    def test_detection_returns_auc_range(self, detection_data):
+        X, y = detection_data
+        ev = DownstreamEvaluator("detection", n_splits=3)
+        score = ev(X, y)
+        assert 0.5 < score <= 1.0
+
+    def test_evaluate_with_model(self, binary_data):
+        X, y = binary_data
+        ev = DownstreamEvaluator("classification", n_splits=3)
+        score = ev.evaluate_with_model(X, y, LogisticRegression())
+        assert 0.0 <= score <= 1.0
+
+    def test_handles_nan_input(self, binary_data):
+        X, y = binary_data
+        X = X.copy()
+        X[0, 0] = np.nan
+        ev = DownstreamEvaluator("classification", n_splits=3)
+        assert np.isfinite(ev(X, y))
+
+    def test_invalid_splits_raises(self):
+        with pytest.raises(ValueError):
+            DownstreamEvaluator("classification", n_splits=1)

@@ -1,0 +1,128 @@
+"""Tests for scalers, clipping, encoders and discretization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.preprocessing import (
+    KBinsDiscretizer,
+    LabelEncoder,
+    MinMaxScaler,
+    RobustClipper,
+    StandardScaler,
+    sanitize_features,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self, rng):
+        X = rng.normal(3.0, 2.0, size=(500, 3))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_no_nan(self):
+        X = np.ones((10, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+
+    def test_inverse_roundtrip(self, rng):
+        X = rng.normal(size=(50, 4))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+
+class TestMinMaxScaler:
+    def test_range(self, rng):
+        X = rng.normal(size=(100, 3)) * 10
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+
+    def test_custom_range(self, rng):
+        X = rng.normal(size=(100, 2))
+        Z = MinMaxScaler(feature_range=(-1, 1)).fit_transform(X)
+        assert Z.min() == pytest.approx(-1.0) and Z.max() == pytest.approx(1.0)
+
+
+class TestRobustClipper:
+    def test_replaces_nan_and_inf(self):
+        X = np.array([[1.0, np.nan], [np.inf, 2.0], [3.0, -np.inf], [4.0, 5.0]])
+        Z = RobustClipper().fit_transform(X)
+        assert np.isfinite(Z).all()
+
+    def test_clips_outliers(self, rng):
+        X = rng.normal(size=(1000, 1))
+        X[0, 0] = 1e9
+        Z = RobustClipper(quantile=0.01).fit_transform(X)
+        assert Z[0, 0] < 1e3
+
+    def test_all_nan_column(self):
+        X = np.full((5, 1), np.nan)
+        Z = RobustClipper().fit_transform(X)
+        assert np.allclose(Z, 0.0)
+
+
+class TestSanitizeFeatures:
+    def test_nan_replaced_by_median(self):
+        X = np.array([[1.0], [np.nan], [3.0]])
+        Z = sanitize_features(X)
+        assert Z[1, 0] == pytest.approx(2.0)
+
+    def test_inf_clipped(self):
+        Z = sanitize_features(np.array([[np.inf], [1.0]]))
+        assert np.isfinite(Z).all()
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            hnp.array_shapes(min_dims=2, max_dims=2, min_side=2, max_side=20),
+            elements=st.floats(allow_nan=True, allow_infinity=True, width=64),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_always_finite(self, X):
+        assert np.isfinite(sanitize_features(X)).all()
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        y = np.array(["b", "a", "c", "a"])
+        enc = LabelEncoder().fit(y)
+        codes = enc.transform(y)
+        assert codes.tolist() == [1, 0, 2, 0]
+        assert (enc.inverse_transform(codes) == y).all()
+
+    def test_unseen_label_raises(self):
+        enc = LabelEncoder().fit(np.array([0, 1]))
+        with pytest.raises(ValueError):
+            enc.transform(np.array([2]))
+
+
+class TestKBinsDiscretizer:
+    def test_codes_in_range(self, rng):
+        X = rng.normal(size=(200, 3))
+        codes = KBinsDiscretizer(n_bins=8).fit_transform(X)
+        assert codes.min() >= 0 and codes.max() < 8
+
+    def test_constant_column_single_bin(self):
+        X = np.ones((20, 1))
+        codes = KBinsDiscretizer(n_bins=4).fit_transform(X)
+        assert len(np.unique(codes)) == 1
+
+    def test_quantile_balance(self, rng):
+        X = rng.random((1000, 1))
+        codes = KBinsDiscretizer(n_bins=4).fit_transform(X).ravel()
+        counts = np.bincount(codes)
+        assert counts.min() > 150  # roughly balanced bins
+
+    def test_invalid_bins_raises(self):
+        with pytest.raises(ValueError):
+            KBinsDiscretizer(n_bins=1)

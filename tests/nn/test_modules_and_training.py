@@ -1,0 +1,260 @@
+"""Tests for Module containers, layers, encoders, optimizers and initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import TransformerEncoder
+from repro.nn.init import normal_, orthogonal_, xavier_uniform_, zeros_
+from repro.nn.layers import Embedding, LayerNorm, Linear, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn.losses import huber_loss, mse_loss
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.recurrent import LSTMEncoder, RNNEncoder, pad_token_batch
+from repro.nn.tensor import Tensor
+
+
+class TestModule:
+    def test_named_parameters_recursive(self):
+        model = Sequential(Linear(3, 4), ReLU(), Linear(4, 1))
+        names = [n for n, _ in model.named_parameters()]
+        assert len(names) == 4  # two weights + two biases
+        assert all(n.startswith("layers.") for n in names)
+
+    def test_parameters_in_list_attributes(self):
+        class WithList(Module):
+            def __init__(self):
+                super().__init__()
+                self.items = [Parameter(np.zeros(2)), Linear(2, 2)]
+
+        assert len(list(WithList().parameters())) == 3
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(3, 2)
+        b = Linear(3, 2)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_shape_mismatch_raises(self):
+        a, b = Linear(3, 2), Linear(2, 2)
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_n_parameters_and_memory(self):
+        layer = Linear(10, 5)
+        assert layer.n_parameters() == 55
+        assert layer.memory_bytes() == 55 * 8
+
+    def test_train_eval_flags(self):
+        model = Sequential(Linear(2, 2))
+        model.eval()
+        assert not model.training
+        model.train()
+        assert model.training
+
+
+class TestLayers:
+    def test_linear_shapes(self, rng):
+        out = Linear(4, 7)(Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 7)
+
+    def test_linear_no_bias(self):
+        layer = Linear(3, 2, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_embedding_lookup_and_grad(self):
+        emb = Embedding(5, 3, rng=np.random.default_rng(0))
+        out = emb(np.array([[0, 1], [1, 1]]))
+        assert out.shape == (2, 2, 3)
+        out.sum().backward()
+        # token 1 appears three times, token 0 once, others never
+        assert np.allclose(emb.weight.grad[1], 3.0)
+        assert np.allclose(emb.weight.grad[0], 1.0)
+        assert np.allclose(emb.weight.grad[2:], 0.0)
+
+    def test_embedding_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            Embedding(3, 2)(np.array([5]))
+
+    def test_layernorm_normalizes(self, rng):
+        out = LayerNorm(8)(Tensor(rng.normal(3.0, 5.0, size=(4, 8))))
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_activations(self):
+        x = Tensor(np.array([-1.0, 1.0]))
+        assert (ReLU()(x).data == [0.0, 1.0]).all()
+        assert np.allclose(Tanh()(x).data, np.tanh([-1, 1]))
+        assert np.allclose(Sigmoid()(x).data, 1 / (1 + np.exp([1.0, -1.0])))
+
+
+class TestInitializers:
+    def test_orthogonal_rows_orthonormal(self):
+        t = Tensor(np.empty((6, 6)))
+        orthogonal_(t, gain=1.0, rng=np.random.default_rng(0))
+        assert np.allclose(t.data @ t.data.T, np.eye(6), atol=1e-9)
+
+    def test_orthogonal_gain_scales(self):
+        t = Tensor(np.empty((4, 4)))
+        orthogonal_(t, gain=16.0, rng=np.random.default_rng(0))
+        assert np.allclose(t.data @ t.data.T, 256 * np.eye(4), atol=1e-6)
+
+    def test_orthogonal_rectangular(self):
+        t = Tensor(np.empty((3, 8)))
+        orthogonal_(t, rng=np.random.default_rng(0))
+        assert np.allclose(t.data @ t.data.T, np.eye(3), atol=1e-9)
+
+    def test_orthogonal_1d_raises(self):
+        with pytest.raises(ValueError):
+            orthogonal_(Tensor(np.empty(4)))
+
+    def test_xavier_bound(self):
+        t = Tensor(np.empty((100, 100)))
+        xavier_uniform_(t, rng=np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 200)
+        assert np.abs(t.data).max() <= bound
+
+    def test_normal_and_zeros(self):
+        t = Tensor(np.empty((10, 10)))
+        normal_(t, std=0.5, rng=np.random.default_rng(0))
+        assert 0.2 < t.data.std() < 0.8
+        zeros_(t)
+        assert (t.data == 0).all()
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, optimizer_factory, steps=200) -> float:
+        w = Parameter(np.array([5.0, -3.0]))
+        opt = optimizer_factory([w])
+        for _ in range(steps):
+            opt.zero_grad()
+            loss = (w * w).sum()
+            loss.backward()
+            opt.step()
+        return float(np.abs(w.data).max())
+
+    def test_sgd_converges(self):
+        assert self._quadratic_descent(lambda p: SGD(p, lr=0.1)) < 1e-6
+
+    def test_sgd_momentum_converges(self):
+        assert self._quadratic_descent(lambda p: SGD(p, lr=0.05, momentum=0.9)) < 1e-4
+
+    def test_adam_converges(self):
+        assert self._quadratic_descent(lambda p: Adam(p, lr=0.2)) < 1e-3
+
+    def test_adam_grad_clipping(self):
+        w = Parameter(np.array([1.0]))
+        opt = Adam([w], lr=0.1, max_grad_norm=0.001)
+        opt.zero_grad()
+        (w * 1e9).sum().backward()
+        before = w.data.copy()
+        opt.step()
+        assert abs(w.data[0] - before[0]) < 1.0
+
+    def test_empty_parameters_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr_raises(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_weight_decay_shrinks(self):
+        w = Parameter(np.array([10.0]))
+        opt = Adam([w], lr=1e-8, weight_decay=0.5)
+        opt.zero_grad()
+        (w * 0.0).sum().backward()
+        opt.step()
+        assert w.data[0] < 10.0
+
+
+class TestLosses:
+    def test_mse_zero_for_equal(self):
+        assert mse_loss(Tensor(np.ones(4)), np.ones(4)).item() == 0.0
+
+    def test_mse_value(self):
+        assert mse_loss(Tensor(np.array([1.0, 3.0])), np.array([0.0, 0.0])).item() == 5.0
+
+    def test_huber_quadratic_inside(self):
+        loss = huber_loss(Tensor(np.array([0.5])), np.array([0.0]), delta=1.0)
+        assert loss.item() == pytest.approx(0.125)
+
+    def test_huber_linear_outside(self):
+        loss = huber_loss(Tensor(np.array([10.0])), np.array([0.0]), delta=1.0)
+        assert loss.item() == pytest.approx(9.5)
+
+
+class TestRecurrentEncoders:
+    def test_pad_token_batch(self):
+        tokens, mask = pad_token_batch([np.array([1, 2, 3]), np.array([4])])
+        assert tokens.shape == (2, 3)
+        assert mask.tolist() == [[1, 1, 1], [1, 0, 0]]
+        assert tokens[1, 1] == 0
+
+    def test_pad_empty_raises(self):
+        with pytest.raises(ValueError):
+            pad_token_batch([])
+        with pytest.raises(ValueError):
+            pad_token_batch([np.array([], dtype=int)])
+
+    def test_lstm_output_shape(self):
+        enc = LSTMEncoder(vocab_size=10, embed_dim=8, hidden_dim=6, num_layers=2, seed=0)
+        out = enc(np.array([[1, 2, 3], [3, 2, 1]]))
+        assert out.shape == (2, 6)
+
+    def test_lstm_mask_freezes_state(self):
+        """Padding after the last real token must not change the encoding."""
+        enc = LSTMEncoder(vocab_size=10, embed_dim=8, hidden_dim=6, seed=0)
+        short = enc(np.array([[1, 2]]), np.array([[1.0, 1.0]]))
+        padded = enc(np.array([[1, 2, 7, 7]]), np.array([[1.0, 1.0, 0.0, 0.0]]))
+        assert np.allclose(short.data, padded.data)
+
+    def test_lstm_order_sensitivity(self):
+        enc = LSTMEncoder(vocab_size=10, embed_dim=8, hidden_dim=6, seed=0)
+        a = enc(np.array([[1, 2, 3]]))
+        b = enc(np.array([[3, 2, 1]]))
+        assert not np.allclose(a.data, b.data)
+
+    def test_lstm_gradient_flows_to_embedding(self):
+        enc = LSTMEncoder(vocab_size=10, embed_dim=4, hidden_dim=4, seed=0)
+        enc(np.array([[1, 2]])).sum().backward()
+        assert enc.embedding.weight.grad is not None
+        assert np.abs(enc.embedding.weight.grad[1]).sum() > 0
+
+    def test_rnn_output_shape(self):
+        enc = RNNEncoder(vocab_size=5, embed_dim=4, hidden_dim=3, num_layers=1, seed=0)
+        assert enc(np.array([[1, 2, 3, 4]])).shape == (1, 3)
+
+    def test_invalid_layers_raises(self):
+        with pytest.raises(ValueError):
+            LSTMEncoder(vocab_size=5, num_layers=0)
+
+    def test_1d_input_promoted(self):
+        enc = RNNEncoder(vocab_size=5, embed_dim=4, hidden_dim=3, seed=0)
+        assert enc(np.array([1, 2])).shape == (1, 3)
+
+
+class TestTransformerEncoder:
+    def test_output_shape(self):
+        enc = TransformerEncoder(vocab_size=12, embed_dim=8, hidden_dim=6, num_layers=2, seed=0)
+        assert enc(np.array([[1, 2, 3], [4, 5, 6]])).shape == (2, 6)
+
+    def test_mask_excludes_padding(self):
+        enc = TransformerEncoder(vocab_size=12, embed_dim=8, hidden_dim=6, num_layers=1, seed=0)
+        short = enc(np.array([[1, 2]]), np.array([[1.0, 1.0]]))
+        padded = enc(np.array([[1, 2, 9]]), np.array([[1.0, 1.0, 0.0]]))
+        assert np.allclose(short.data, padded.data, atol=1e-8)
+
+    def test_gradient_flows(self):
+        enc = TransformerEncoder(vocab_size=8, embed_dim=4, hidden_dim=4, num_layers=1, seed=0)
+        enc(np.array([[1, 2, 3]])).sum().backward()
+        grads = [p.grad for p in enc.parameters() if p.grad is not None]
+        assert len(grads) > 0
+
+    def test_position_sensitivity(self):
+        enc = TransformerEncoder(vocab_size=8, embed_dim=8, hidden_dim=4, num_layers=1, seed=0)
+        a = enc(np.array([[1, 2]]))
+        b = enc(np.array([[2, 1]]))
+        assert not np.allclose(a.data, b.data)

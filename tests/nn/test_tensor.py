@@ -1,0 +1,205 @@
+"""Autodiff correctness: finite-difference gradient checks and op semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, concat, log_softmax, softmax, stack
+
+
+def numeric_gradient(fn, x0: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar fn at x0."""
+    grad = np.zeros_like(x0)
+    flat = x0.ravel()
+    g = grad.ravel()
+    for i in range(flat.size):
+        plus, minus = flat.copy(), flat.copy()
+        plus[i] += eps
+        minus[i] -= eps
+        g[i] = (fn(plus.reshape(x0.shape)) - fn(minus.reshape(x0.shape))) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, x0: np.ndarray, atol: float = 1e-6) -> None:
+    """Compare autodiff gradient against finite differences."""
+    t = Tensor(x0, requires_grad=True)
+    out = build(t)
+    out.backward()
+    num = numeric_gradient(lambda x: build(Tensor(x, requires_grad=True)).item(), x0)
+    assert np.allclose(t.grad, num, atol=atol), f"max err {np.abs(t.grad - num).max()}"
+
+
+class TestBasicOps:
+    def test_add_backward(self, rng):
+        check_gradient(lambda t: (t + 2.0).sum(), rng.normal(size=(3, 4)))
+
+    def test_mul_backward(self, rng):
+        check_gradient(lambda t: (t * t).sum(), rng.normal(size=(3, 4)))
+
+    def test_div_backward(self, rng):
+        check_gradient(lambda t: (1.0 / (t + 5.0)).sum(), rng.uniform(1, 2, size=(3, 3)))
+
+    def test_pow_backward(self, rng):
+        check_gradient(lambda t: (t**3).sum(), rng.uniform(0.5, 2, size=(2, 3)))
+
+    def test_matmul_backward(self, rng):
+        W = rng.normal(size=(4, 2))
+        check_gradient(lambda t: (t @ W).sum(), rng.normal(size=(3, 4)))
+
+    def test_sub_and_neg(self, rng):
+        check_gradient(lambda t: (5.0 - t - t).sum(), rng.normal(size=(2, 2)))
+
+    def test_rsub_rdiv(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        out = (4.0 / t) + (3.0 - t)
+        out.backward()
+        assert t.grad[0] == pytest.approx(-4.0 / 4.0 - 1.0)
+
+
+class TestNonlinearities:
+    def test_tanh(self, rng):
+        check_gradient(lambda t: t.tanh().sum(), rng.normal(size=(3, 3)))
+
+    def test_sigmoid(self, rng):
+        check_gradient(lambda t: t.sigmoid().sum(), rng.normal(size=(3, 3)))
+
+    def test_relu_gradient_mask(self):
+        t = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        t.relu().sum().backward()
+        assert t.grad.tolist() == [0.0, 1.0]
+
+    def test_exp_log(self, rng):
+        check_gradient(lambda t: (t.exp().log()).sum(), rng.uniform(0.5, 2, size=(2, 3)))
+
+    def test_sqrt(self, rng):
+        check_gradient(lambda t: t.sqrt().sum(), rng.uniform(1, 4, size=(2, 2)), atol=1e-5)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self, rng):
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(), rng.normal(size=(3, 4)))
+
+    def test_mean(self, rng):
+        check_gradient(lambda t: (t.mean(axis=1) ** 2).sum(), rng.normal(size=(3, 4)))
+
+    def test_sum_keepdims(self, rng):
+        check_gradient(
+            lambda t: (t / t.sum(axis=1, keepdims=True)).sum(), rng.uniform(1, 2, size=(3, 4))
+        )
+
+    def test_reshape(self, rng):
+        check_gradient(lambda t: (t.reshape(6) ** 2).sum(), rng.normal(size=(2, 3)))
+
+    def test_transpose(self, rng):
+        W = rng.normal(size=(3, 2))
+        check_gradient(lambda t: (t.transpose() @ W).sum(), rng.normal(size=(3, 4)))
+
+    def test_swapaxes(self, rng):
+        check_gradient(lambda t: (t.swapaxes(0, 1) ** 2).sum(), rng.normal(size=(2, 3)))
+
+    def test_getitem_slice(self, rng):
+        check_gradient(lambda t: (t[:, 1:3] ** 2).sum(), rng.normal(size=(3, 5)))
+
+    def test_getitem_accumulates_on_repeat_index(self):
+        t = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        idx = np.array([0, 0, 1])
+        t[idx].sum().backward()
+        assert t.grad.tolist() == [2.0, 1.0]
+
+
+class TestBroadcasting:
+    def test_add_broadcast_bias(self, rng):
+        b0 = rng.normal(size=3)
+        X = rng.normal(size=(4, 3))
+        t = Tensor(b0, requires_grad=True)
+        ((Tensor(X) + t) ** 2).sum().backward()
+        num = numeric_gradient(lambda b: (((X + b) ** 2).sum()), b0)
+        assert np.allclose(t.grad, num, atol=1e-5)
+
+    def test_mul_broadcast_scalar_shape(self):
+        t = Tensor(np.array([[2.0]]), requires_grad=True)
+        (t * Tensor(np.ones((3, 4)))).sum().backward()
+        assert t.grad.shape == (1, 1)
+        assert t.grad[0, 0] == 12.0
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_over_reuse(self):
+        t = Tensor(np.array([3.0]), requires_grad=True)
+        out = t * t + t
+        out.backward()
+        assert t.grad[0] == pytest.approx(2 * 3.0 + 1.0)
+
+    def test_detach_blocks_gradient(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        out = t.detach() * 10.0
+        assert not out.requires_grad
+
+    def test_backward_without_grad_flag_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(3)).backward()
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t * 2).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_diamond_graph(self, rng):
+        """A node used along two paths gets both contributions."""
+        check_gradient(
+            lambda t: ((t * 2.0) + (t.tanh())).sum(), rng.normal(size=(3,))
+        )
+
+
+class TestCompositeFunctions:
+    def test_concat_gradient(self, rng):
+        a0, b0 = rng.normal(size=(2, 3)), rng.normal(size=(2, 2))
+        a = Tensor(a0, requires_grad=True)
+        b = Tensor(b0, requires_grad=True)
+        (concat([a, b], axis=1) ** 2).sum().backward()
+        assert np.allclose(a.grad, 2 * a0)
+        assert np.allclose(b.grad, 2 * b0)
+
+    def test_stack_gradient(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        stacked = stack([a, b], axis=0)
+        (stacked * Tensor(np.array([[1.0, 1, 1], [2.0, 2, 2]]))).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        assert np.allclose(b.grad, 2.0)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        s = softmax(Tensor(rng.normal(size=(4, 5))), axis=1)
+        assert np.allclose(s.data.sum(axis=1), 1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert np.allclose(log_softmax(x).data, np.log(softmax(x).data), atol=1e-9)
+
+    def test_softmax_stable_for_large_inputs(self):
+        s = softmax(Tensor(np.array([[1000.0, 1000.0]])))
+        assert np.allclose(s.data, 0.5)
+
+    def test_log_softmax_gradient(self, rng):
+        x0 = rng.normal(size=(2, 4))
+        t = Tensor(x0, requires_grad=True)
+        log_softmax(t, axis=1)[0, 1].backward()
+        num = numeric_gradient(
+            lambda x: log_softmax(Tensor(x, requires_grad=True), axis=1)[0, 1].item(), x0
+        )
+        assert np.allclose(t.grad, num, atol=1e-5)
+
+    @given(st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_random_composite_gradcheck(self, n, m):
+        rng = np.random.default_rng(n * 10 + m)
+        x0 = rng.uniform(0.5, 1.5, size=(n, m))
+
+        def build(t):
+            return ((t.tanh() * t).sigmoid() + t.exp().log()).mean()
+
+        check_gradient(build, x0, atol=1e-5)

@@ -1,0 +1,161 @@
+"""Tests for the Actor-Critic and DQN-family learners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rl.actor_critic import ActorCriticLearner
+from repro.rl.dqn import DQN_VARIANTS, DQNLearner, make_learner
+from repro.rl.replay import PrioritizedReplayBuffer, Transition
+
+
+def bandit_transition(rng, learner_state_dim=4, cand_dim=2, chosen=None):
+    """Candidate-value bandit: reward = first coordinate of chosen candidate."""
+    s = rng.normal(size=learner_state_dim)
+    cands = rng.normal(size=(3, cand_dim))
+    a = chosen if chosen is not None else int(rng.integers(0, 3))
+    return Transition(
+        state=s,
+        action_vec=cands[a],
+        reward=float(cands[a, 0]),
+        next_state=rng.normal(size=learner_state_dim),
+        next_candidates=rng.normal(size=(3, cand_dim)),
+        payload={"candidates": cands, "action_index": a},
+    )
+
+
+def train_on_bandit(learner, n_steps=60, seed=0):
+    rng = np.random.default_rng(seed)
+    buf = PrioritizedReplayBuffer(capacity=16, seed=seed)
+    for _ in range(n_steps):
+        s = rng.normal(size=4)
+        cands = rng.normal(size=(3, 2))
+        a = learner.select(s, cands)
+        t = Transition(
+            state=s,
+            action_vec=cands[a],
+            reward=float(cands[a, 0]),
+            next_state=rng.normal(size=4),
+            next_candidates=rng.normal(size=(3, 2)),
+            payload={"candidates": cands, "action_index": a},
+        )
+        buf.add(t, priority=abs(learner.td_error(t)))
+        if len(buf) >= 8:
+            batch, idx, w = buf.sample(8)
+            out = learner.update(batch, w)
+            buf.update_priorities(idx, out["td_errors"])
+    return learner
+
+
+def greedy_accuracy(learner, n=60, seed=123):
+    rng = np.random.default_rng(seed)
+    hits = 0
+    for _ in range(n):
+        s = rng.normal(size=4)
+        cands = rng.normal(size=(3, 2))
+        if learner.select(s, cands, greedy=True) == int(np.argmax(cands[:, 0])):
+            hits += 1
+    return hits / n
+
+
+class TestActorCritic:
+    def test_learns_candidate_value_bandit(self):
+        learner = train_on_bandit(ActorCriticLearner(4, 2, seed=0))
+        assert greedy_accuracy(learner) > 0.6
+
+    def test_select_returns_valid_index(self, rng):
+        learner = ActorCriticLearner(4, 2, seed=0)
+        for n_cands in (1, 2, 5):
+            idx = learner.select(rng.normal(size=4), rng.normal(size=(n_cands, 2)))
+            assert 0 <= idx < n_cands
+
+    def test_empty_candidates_raises(self, rng):
+        with pytest.raises(ValueError):
+            ActorCriticLearner(4, 2).select(rng.normal(size=4), np.empty((0, 2)))
+
+    def test_td_error_definition(self, rng):
+        learner = ActorCriticLearner(4, 2, gamma=0.9, seed=0)
+        t = bandit_transition(rng)
+        delta = learner.td_error(t)
+        expected = t.reward + 0.9 * learner.value(t.next_state) - learner.value(t.state)
+        assert delta == pytest.approx(expected)
+
+    def test_done_transition_has_no_bootstrap(self, rng):
+        learner = ActorCriticLearner(4, 2, gamma=0.9, seed=0)
+        t = bandit_transition(rng)
+        t.done = True
+        assert learner.td_error(t) == pytest.approx(t.reward - learner.value(t.state))
+
+    def test_update_returns_losses_and_errors(self, rng):
+        learner = ActorCriticLearner(4, 2, seed=0)
+        batch = [bandit_transition(rng) for _ in range(6)]
+        out = learner.update(batch)
+        assert set(out) == {"critic_loss", "actor_loss", "td_errors"}
+        assert len(out["td_errors"]) == 6
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(ValueError):
+            ActorCriticLearner(4, 2).update([])
+
+    def test_critic_loss_decreases_on_repeated_batch(self, rng):
+        learner = ActorCriticLearner(4, 2, seed=0)
+        batch = [bandit_transition(rng) for _ in range(8)]
+        first = learner.update(batch)["critic_loss"]
+        for _ in range(30):
+            last = learner.update(batch)["critic_loss"]
+        assert last < first
+
+
+class TestDQNFamily:
+    @pytest.mark.parametrize("kind", list(DQN_VARIANTS))
+    def test_variants_construct_and_act(self, kind, rng):
+        learner = make_learner(kind, 4, 2, seed=0)
+        idx = learner.select(rng.normal(size=4), rng.normal(size=(3, 2)), greedy=True)
+        assert 0 <= idx < 3
+        assert learner.name == kind
+
+    def test_dqn_learns_bandit(self):
+        learner = train_on_bandit(DQNLearner(4, 2, epsilon=0.3, seed=0), n_steps=80)
+        assert greedy_accuracy(learner) > 0.55
+
+    def test_epsilon_decays(self):
+        learner = DQNLearner(4, 2, epsilon=1.0, epsilon_decay=0.5, epsilon_min=0.1, seed=0)
+        rng = np.random.default_rng(0)
+        batch = [bandit_transition(rng) for _ in range(4)]
+        for _ in range(5):
+            learner.update(batch)
+        assert learner.epsilon < 1.0
+
+    def test_target_sync(self, rng):
+        learner = DQNLearner(4, 2, target_sync=1, seed=0)
+        batch = [bandit_transition(rng) for _ in range(4)]
+        learner.update(batch)
+        s, c = rng.normal(size=4), rng.normal(size=(2, 2))
+        online_q = learner.online.q_values(s, c).data
+        target_q = learner.target.q_values(s, c).data
+        assert np.allclose(online_q, target_q)
+
+    def test_double_uses_online_argmax(self, rng):
+        learner = make_learner("double_dqn", 4, 2, seed=0)
+        t = bandit_transition(rng)
+        assert np.isfinite(learner._target_value(t))
+
+    def test_dueling_q_centers_advantage(self, rng):
+        learner = make_learner("dueling_dqn", 4, 2, seed=0)
+        q = learner.online.q_values(rng.normal(size=4), rng.normal(size=(5, 2))).data
+        assert q.shape == (5,)
+
+    def test_terminal_transition_target_is_reward(self, rng):
+        learner = DQNLearner(4, 2, seed=0)
+        t = bandit_transition(rng)
+        t.done = True
+        assert learner._target_value(t) == t.reward
+
+    def test_make_learner_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_learner("sarsa", 4, 2)
+
+    def test_make_learner_actor_critic(self):
+        learner = make_learner("actor_critic", 4, 2, seed=0)
+        assert isinstance(learner, ActorCriticLearner)

@@ -1,0 +1,165 @@
+"""Tests for replay buffers and the sum tree (Eq. 10 semantics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rl.replay import PrioritizedReplayBuffer, ReplayBuffer, SumTree, Transition
+
+
+def make_transition(reward: float = 0.0) -> Transition:
+    return Transition(
+        state=np.zeros(3),
+        action_vec=np.zeros(2),
+        reward=reward,
+        next_state=np.zeros(3),
+    )
+
+
+class TestSumTree:
+    def test_total_tracks_sets(self):
+        tree = SumTree(8)
+        tree.set(0, 1.0)
+        tree.set(3, 2.5)
+        assert tree.total() == pytest.approx(3.5)
+        tree.set(0, 0.5)
+        assert tree.total() == pytest.approx(3.0)
+
+    def test_get_roundtrip(self):
+        tree = SumTree(4)
+        tree.set(2, 7.0)
+        assert tree.get(2) == 7.0
+
+    def test_find_prefix_boundaries(self):
+        tree = SumTree(4)
+        for i, p in enumerate([1.0, 2.0, 3.0, 4.0]):
+            tree.set(i, p)
+        assert tree.find_prefix(0.5) == 0
+        assert tree.find_prefix(1.5) == 1
+        assert tree.find_prefix(3.5) == 2
+        assert tree.find_prefix(9.9) == 3
+
+    def test_find_prefix_skips_zero_priority(self):
+        tree = SumTree(4)
+        tree.set(1, 5.0)
+        assert tree.find_prefix(2.5) == 1
+
+    def test_out_of_range_raises(self):
+        tree = SumTree(4)
+        with pytest.raises(IndexError):
+            tree.set(4, 1.0)
+        with pytest.raises(ValueError):
+            tree.set(0, -1.0)
+
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_total_equals_sum(self, priorities):
+        tree = SumTree(16)
+        for i, p in enumerate(priorities):
+            tree.set(i, p)
+        assert tree.total() == pytest.approx(sum(priorities), rel=1e-9, abs=1e-9)
+
+    @given(st.lists(st.floats(0.01, 10.0), min_size=2, max_size=16), st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_find_prefix_lands_on_positive_leaf(self, priorities, frac):
+        tree = SumTree(16)
+        for i, p in enumerate(priorities):
+            tree.set(i, p)
+        idx = tree.find_prefix(frac * tree.total() * 0.999)
+        assert 0 <= idx < len(priorities)
+        assert tree.get(idx) > 0
+
+
+class TestUniformBuffer:
+    def test_capacity_enforced(self):
+        buf = ReplayBuffer(capacity=3, seed=0)
+        for i in range(10):
+            buf.add(make_transition(i))
+        assert len(buf) == 3
+
+    def test_ring_overwrites_oldest(self):
+        buf = ReplayBuffer(capacity=2, seed=0)
+        for i in range(3):
+            buf.add(make_transition(i))
+        rewards = {t.reward for t in buf.all()}
+        assert rewards == {1.0, 2.0}
+
+    def test_sample_weights_all_one(self):
+        buf = ReplayBuffer(capacity=4, seed=0)
+        for i in range(4):
+            buf.add(make_transition(i))
+        _, _, weights = buf.sample(3)
+        assert (weights == 1.0).all()
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=2).sample(1)
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(capacity=0)
+
+
+class TestPrioritizedBuffer:
+    def test_capacity_enforced(self):
+        buf = PrioritizedReplayBuffer(capacity=4, seed=0)
+        for i in range(10):
+            buf.add(make_transition(i), priority=1.0)
+        assert len(buf) == 4
+        assert buf.is_full
+
+    def test_high_priority_sampled_more(self):
+        buf = PrioritizedReplayBuffer(capacity=8, alpha=1.0, seed=0)
+        for i in range(8):
+            buf.add(make_transition(i), priority=100.0 if i == 5 else 0.001)
+        counts = np.zeros(8)
+        for _ in range(200):
+            batch, idx, _ = buf.sample(2)
+            for i in idx:
+                counts[i] += 1
+        assert counts[5] > counts.sum() * 0.5
+
+    def test_update_priorities_changes_distribution(self):
+        buf = PrioritizedReplayBuffer(capacity=4, alpha=1.0, seed=0)
+        for i in range(4):
+            buf.add(make_transition(i), priority=1.0)
+        buf.update_priorities(np.array([2]), np.array([1000.0]))
+        _, idx, _ = buf.sample(4)
+        assert (idx == 2).sum() >= 2
+
+    def test_importance_weights_bounded(self):
+        buf = PrioritizedReplayBuffer(capacity=8, seed=0)
+        for i in range(8):
+            buf.add(make_transition(i), priority=float(i + 1))
+        _, _, weights = buf.sample(6)
+        assert weights.max() == pytest.approx(1.0)
+        assert (weights > 0).all()
+
+    def test_uniform_records_api(self):
+        buf = PrioritizedReplayBuffer(capacity=4, seed=0)
+        for i in range(4):
+            buf.add(make_transition(i))
+        records = buf.sample_uniform_records(3)
+        assert len(records) == 3
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError):
+            PrioritizedReplayBuffer(capacity=2).sample(1)
+
+    def test_negative_priority_uses_abs(self):
+        buf = PrioritizedReplayBuffer(capacity=2, seed=0)
+        buf.add(make_transition(), priority=-5.0)  # |δ| semantics
+        assert len(buf) == 1
+        batch, _, _ = buf.sample(1)
+        assert len(batch) == 1
+
+    def test_payload_preserved(self):
+        buf = PrioritizedReplayBuffer(capacity=2, seed=0)
+        t = make_transition()
+        t.payload["sequence"] = np.array([1, 2, 3])
+        buf.add(t)
+        out, _, _ = buf.sample(1)
+        assert (out[0].payload["sequence"] == [1, 2, 3]).all()

@@ -1,0 +1,91 @@
+"""Tests for the CLI (`python -m repro`) and the run_all experiment driver."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.core.sequence import TransformationPlan
+from repro.experiments.run_all import EXPERIMENTS, run_experiments
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_defaults(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.task is None
+
+    def test_transform_args(self):
+        args = build_parser().parse_args(
+            ["transform", "pima_indian", "--episodes", "3", "--scale", "0.1"]
+        )
+        assert args.dataset == "pima_indian"
+        assert args.episodes == 3
+        assert args.scale == 0.1
+
+    def test_experiments_only_subset(self):
+        args = build_parser().parse_args(["experiments", "--only", "fig11", "table4"])
+        assert args.only == ["fig11", "table4"]
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "cardiovascular" in out
+        assert "openml_618" in out
+
+    def test_datasets_task_filter(self, capsys):
+        main(["datasets", "--task", "detection"])
+        out = capsys.readouterr().out
+        assert "thyroid" in out
+        assert "pima_indian" not in out
+
+    def test_transform_end_to_end(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        code = main(
+            [
+                "transform",
+                "pima_indian",
+                "--scale", "0.08",
+                "--episodes", "2",
+                "--steps", "2",
+                "--save-plan", str(plan_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "score" in out and "plan" in out
+        # The saved plan is valid JSON and re-loadable.
+        plan = TransformationPlan.from_json(plan_path.read_text())
+        assert plan.n_input_columns == 8
+
+    def test_experiments_command(self, capsys, tmp_path):
+        code = main(
+            ["experiments", "--only", "fig11", "--profile", "smoke", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        assert (tmp_path / "fig11.txt").exists()
+
+
+class TestRunAll:
+    def test_registry_covers_every_paper_artifact(self):
+        expected = {"table1", "table2", "table3", "table4"} | {
+            f"fig{i}" for i in range(6, 16)
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            run_experiments(["fig99"], out_dir=tmp_path)
+
+    def test_run_selected_writes_report(self, tmp_path, capsys):
+        reports = run_experiments(["fig11"], profile_name="smoke", out_dir=tmp_path)
+        assert "fig11" in reports
+        assert "Seq length" in (tmp_path / "fig11.txt").read_text()

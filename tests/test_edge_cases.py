@@ -1,0 +1,187 @@
+"""Failure-injection and edge-case tests across the stack.
+
+These exercise the paths a long RL exploration will eventually hit: constant
+columns, explosive operation chains, degenerate datasets, near-empty buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FastFT, FastFTConfig, FeatureSpace, cluster_features, describe_matrix
+from repro.core.novelty import NoveltyEstimator
+from repro.core.operations import OPERATION_NAMES, get_operation
+from repro.core.predictor import PerformancePredictor
+from repro.core.tokens import TokenVocabulary
+from repro.ml.base import check_array, check_X_y
+from repro.ml.evaluation import DownstreamEvaluator
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _tiny_cfg(**over):
+    base = dict(
+        episodes=2, steps_per_episode=2, cold_start_episodes=1,
+        retrain_every_episodes=1, component_epochs=1, cv_splits=3,
+        rf_estimators=3, max_clusters=3, mi_max_rows=64, seed=0,
+    )
+    base.update(over)
+    return FastFTConfig(**base)
+
+
+class TestInputValidation:
+    def test_check_X_y_shapes(self):
+        with pytest.raises(ValueError):
+            check_X_y(np.ones((3, 2)), np.ones(4))
+        with pytest.raises(ValueError):
+            check_X_y(np.ones((0, 2)), np.ones(0))
+        with pytest.raises(ValueError):
+            check_X_y(np.ones((3, 2, 2)), np.ones(3))
+
+    def test_check_X_y_promotes_1d(self):
+        X, y = check_X_y(np.ones(5), np.zeros(5))
+        assert X.shape == (5, 1)
+
+    def test_check_array_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_array(np.array([[np.nan]]))
+
+
+class TestDegenerateData:
+    def test_constant_column_dataset(self):
+        """Constant columns break naive MI/variance code paths."""
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(120, 4))
+        X[:, 2] = 5.0  # constant
+        y = (X[:, 0] > 0).astype(int)
+        result = FastFT(_tiny_cfg()).fit(X, y, task="classification")
+        assert np.isfinite(result.best_score)
+
+    def test_two_feature_dataset(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = (X[:, 0] * X[:, 1] > 0).astype(int)
+        result = FastFT(_tiny_cfg()).fit(X, y, task="classification")
+        assert np.isfinite(result.best_score)
+
+    def test_single_feature_dataset(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(90, 1))
+        y = (X[:, 0] ** 2 > 0.5).astype(int)
+        result = FastFT(_tiny_cfg()).fit(X, y, task="classification")
+        assert np.isfinite(result.best_score)
+
+    def test_imbalanced_99_to_1(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(200, 3))
+        y = np.zeros(200, dtype=int)
+        y[:3] = 1
+        X[:3] += 4.0
+        score = DownstreamEvaluator("detection", n_splits=3)(X, y)
+        assert 0.0 <= score <= 1.0
+
+    def test_duplicated_columns(self):
+        rng = np.random.default_rng(4)
+        col = rng.normal(size=150)
+        X = np.column_stack([col, col, col])
+        y = (col > 0).astype(int)
+        clusters = cluster_features(X, y)
+        assert len(clusters) >= 1
+        result = FastFT(_tiny_cfg()).fit(X, y, task="classification")
+        assert np.isfinite(result.best_score)
+
+
+class TestExplosiveChains:
+    def test_exp_of_exp_of_exp_stays_finite(self, rng):
+        X = rng.normal(size=(50, 2)) * 10
+        fs = FeatureSpace(X)
+        fid = fs.live_ids[0]
+        for _ in range(5):
+            fid = fs.apply_unary("exp", [fid])[0]
+        assert np.isfinite(fs.matrix()).all()
+        assert np.isfinite(describe_matrix(fs.matrix())).all()
+
+    def test_reciprocal_of_tiny_values(self, rng):
+        X = rng.normal(size=(50, 1)) * 1e-12
+        out = get_operation("reciprocal")(X[:, 0])
+        assert np.isfinite(out).all()
+
+    def test_divide_chain_plan_reapplies(self, rng):
+        X = rng.normal(size=(40, 2))
+        fs = FeatureSpace(X)
+        fid = fs.apply_binary("divide", [0], [1])[0]
+        for _ in range(3):
+            fid = fs.apply_binary("divide", [fid], [1])[0]
+        plan = fs.snapshot()
+        assert np.isfinite(plan.apply(rng.normal(size=(30, 2)) * 1e-9)).all()
+
+    def test_deep_tree_on_extreme_feature_values(self):
+        rng = np.random.default_rng(5)
+        X = np.column_stack([rng.normal(size=100) * 1e12, rng.normal(size=100)])
+        y = (X[:, 1] > 0).astype(int)
+        model = DecisionTreeClassifier(max_depth=4, seed=0).fit(X, y)
+        assert model.score(X, y) > 0.9
+
+
+class TestComponentEdgeCases:
+    def test_predictor_on_minimal_sequence(self):
+        vocab = TokenVocabulary(OPERATION_NAMES)
+        pp = PerformancePredictor(len(vocab), seed=0)
+        seq = vocab.finalize([])  # just SOS/EOS
+        assert np.isfinite(pp.predict(seq))
+
+    def test_novelty_on_minimal_sequence(self):
+        vocab = TokenVocabulary(OPERATION_NAMES)
+        ne = NoveltyEstimator(len(vocab), embed_dim=8, hidden_dim=8, num_layers=1, seed=0)
+        seq = vocab.finalize([])
+        assert ne.score(seq) >= 0
+
+    def test_predictor_single_record_fit(self):
+        vocab = TokenVocabulary(OPERATION_NAMES)
+        pp = PerformancePredictor(len(vocab), embed_dim=8, hidden_dim=8, num_layers=1, seed=0)
+        seq = vocab.finalize([vocab.op_token("add")])
+        loss = pp.fit([seq], np.array([0.5]), epochs=2)
+        assert np.isfinite(loss)
+
+    def test_forest_single_sample_per_class(self):
+        X = np.array([[0.0, 1.0], [1.0, 0.0]])
+        y = np.array([0, 1])
+        model = RandomForestClassifier(n_estimators=3, seed=0).fit(X, y)
+        assert model.predict(X).shape == (2,)
+
+
+class TestEngineResilience:
+    def test_zero_cold_start_with_pp_disabled(self):
+        """cold_start_episodes=0 is valid when the predictor is off."""
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] > 0).astype(int)
+        cfg = _tiny_cfg(cold_start_episodes=0, use_performance_predictor=False)
+        result = FastFT(cfg).fit(X, y, task="classification")
+        assert all(r.is_real for r in result.history)
+
+    def test_memory_size_one(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 0] > 0).astype(int)
+        result = FastFT(_tiny_cfg(memory_size=1, replay_batch_size=1)).fit(
+            X, y, task="classification"
+        )
+        assert np.isfinite(result.best_score)
+
+    def test_steps_longer_than_sequence_cap(self):
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(90, 3))
+        y = (X[:, 0] > 0).astype(int)
+        result = FastFT(_tiny_cfg(max_seq_len=12, steps_per_episode=4)).fit(
+            X, y, task="classification"
+        )
+        assert np.isfinite(result.best_score)
+
+    def test_regression_with_constant_target_segment(self):
+        rng = np.random.default_rng(9)
+        X = rng.normal(size=(80, 3))
+        y = np.concatenate([np.zeros(40), X[40:, 0]])
+        result = FastFT(_tiny_cfg()).fit(X, y, task="regression")
+        assert np.isfinite(result.best_score)
