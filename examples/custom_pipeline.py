@@ -3,7 +3,7 @@
 Shows the knobs a power user reaches for:
 
 1. a custom downstream oracle (gradient boosting + macro-F1 instead of the
-   default random forest + weighted-F1);
+   default random forest + weighted-F1), memoized by an ``EvaluationCache``;
 2. ablation toggles (the Fig 6 arms) from plain config flags;
 3. swapping the RL framework and the sequence encoder (Fig 7 / Fig 8 arms);
 4. persisting a fitted plan's formulas and re-executing them on held-out data.
@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import FastFT, FastFTConfig
+from repro import api
+from repro.core import FastFTConfig
 from repro.data import load_dataset
 from repro.ml import GradientBoostingClassifier, f1_score
 from repro.ml.evaluation import DownstreamEvaluator
@@ -57,11 +58,13 @@ def main() -> None:
         prioritized_replay=True,      # False reproduces the -RCT ablation
         seed=0,
     )
-    result = FastFT(config).fit(
-        X_train, y_train, task="classification",
-        feature_names=dataset.feature_names, evaluator=oracle,
+    cache = api.EvaluationCache()  # repeated candidate matrices skip CV
+    result = api.search(
+        X_train, y_train, task="classification", config=config,
+        feature_names=dataset.feature_names, evaluator=oracle, cache=cache,
     )
     print(f"CV macro-F1 (train): {result.base_score:.3f} -> {result.best_score:.3f}")
+    print(f"Oracle calls: {result.n_downstream_calls} ({cache.hits} served from cache)")
 
     # 4. Persist the plan as formulas + re-execute on held-out data.
     print("\nDiscovered feature program:")

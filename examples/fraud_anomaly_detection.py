@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import time
 
+from repro import api
 from repro.baselines import OpenFE
-from repro.core import FastFT, FastFTConfig
+from repro.core import FastFTConfig
 from repro.data import load_dataset
 
 
@@ -40,8 +41,11 @@ def main() -> None:
         seed=0,
     )
     start = time.perf_counter()
-    fastft = FastFT(config).fit(
-        dataset.X, dataset.y, task="detection", feature_names=dataset.feature_names
+    # time_budget caps the search wall time — production jobs stop cleanly
+    # with the best plan found so far instead of overrunning.
+    fastft = api.search(
+        dataset.X, dataset.y, task="detection", config=config,
+        feature_names=dataset.feature_names, time_budget=120.0,
     )
     fastft_time = time.perf_counter() - start
 

@@ -14,7 +14,8 @@ Run:  python examples/medical_risk_screening.py
 
 from __future__ import annotations
 
-from repro.core import FastFT, FastFTConfig
+from repro import api
+from repro.core import FastFTConfig
 from repro.core.tracing import feature_importance_table, reward_peak_features
 from repro.data import load_dataset
 from repro.ml import (
@@ -40,8 +41,9 @@ def main() -> None:
         rf_estimators=8,
         seed=0,
     )
-    result = FastFT(config).fit(
-        dataset.X, dataset.y, task="classification", feature_names=dataset.feature_names
+    result = api.search(
+        dataset.X, dataset.y, task="classification", config=config,
+        feature_names=dataset.feature_names,
     )
     print(f"\nF1: {result.base_score:.3f} -> {result.best_score:.3f}")
 

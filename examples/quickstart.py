@@ -1,15 +1,15 @@
 """Quickstart: reinforced feature transformation in ~20 lines.
 
 Runs FastFT on a synthetic version of the paper's OpenML-589 regression
-dataset, prints the score improvement, the time breakdown, and the traceable
-formulas of the best discovered features.
+dataset through the ``repro.api`` facade, prints the score improvement, the
+time breakdown, and the traceable formulas of the best discovered features.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro.core import FastFT, FastFTConfig
+from repro import api
 from repro.data import load_dataset
 
 
@@ -18,7 +18,12 @@ def main() -> None:
     dataset = load_dataset("openml_589", scale=0.25, seed=0)
     print(f"Dataset: {dataset.name} ({dataset.n_samples}x{dataset.n_features}, {dataset.task})")
 
-    config = FastFTConfig(
+    # Any FastFTConfig field can be passed as a keyword override.
+    result = api.search(
+        dataset.X,
+        dataset.y,
+        task=dataset.task,
+        feature_names=dataset.feature_names,
         episodes=8,
         steps_per_episode=5,
         cold_start_episodes=2,
@@ -28,9 +33,6 @@ def main() -> None:
         rf_estimators=8,
         seed=0,
         verbose=True,
-    )
-    result = FastFT(config).fit(
-        dataset.X, dataset.y, task=dataset.task, feature_names=dataset.feature_names
     )
 
     print(f"\nBase 1-RAE      : {result.base_score:.4f}")

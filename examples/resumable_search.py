@@ -1,0 +1,93 @@
+"""Domain scenario 4 — long-running searches: sessions, callbacks, resume.
+
+The blocking ``FastFT.fit`` call is fine for minutes-long runs; production
+searches need to pause, observe, budget, and survive restarts. This script
+shows the session-based workflow end to end:
+
+1. *Stepping*: a ``SearchSession`` is an iterator of ``StepRecord``s — the
+   caller owns the loop and can stop, inspect, or checkpoint at any step.
+2. *Callbacks*: ``TimeBudget``, ``EarlyStopping`` and ``HistoryCollector``
+   observe a run without touching engine code.
+3. *Checkpoint → resume*: the search is interrupted mid-episode, restored
+   from disk, and finishes with bit-identical results to an uninterrupted
+   run (seeded-RNG state travels with the checkpoint).
+4. *Cached batches*: ``api.run_batch`` shares an ``EvaluationCache`` so
+   repeated feature matrices never pay for cross-validation twice.
+
+Run:  python examples/resumable_search.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro import api
+from repro.core import EarlyStopping, FastFTConfig, HistoryCollector, SearchSession
+from repro.data import load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("wine_quality_white", scale=0.15, seed=0)
+    print(f"Dataset: {dataset.name} ({dataset.n_samples}x{dataset.n_features}, {dataset.task})")
+
+    config = FastFTConfig(
+        episodes=6,
+        steps_per_episode=4,
+        cold_start_episodes=2,
+        retrain_every_episodes=2,
+        component_epochs=3,
+        cv_splits=3,
+        rf_estimators=6,
+        seed=0,
+    )
+
+    # 1+2. Step the session manually with observers attached.
+    collector = HistoryCollector()
+    session = SearchSession(
+        dataset.X,
+        dataset.y,
+        task=dataset.task,
+        config=config,
+        feature_names=dataset.feature_names,
+        callbacks=[collector, EarlyStopping(patience=4)],
+    )
+    ckpt = os.path.join(tempfile.gettempdir(), "fastft_demo.ckpt")
+    for record in session:
+        if record.global_step == 6:  # interrupt mid-episode, mid-search
+            session.checkpoint(ckpt)
+            print(f"checkpointed at step {record.global_step} -> {ckpt}")
+            break
+
+    # 3. Restore and finish. The resumed run reproduces exactly what the
+    #    uninterrupted run would have done.
+    restored = SearchSession.resume(ckpt)
+    print(
+        f"resumed at episode {restored.episode}, step {restored.global_step} "
+        f"(best so far {restored.best_score:.4f})"
+    )
+    result = restored.run()
+    print(
+        f"finished  : {result.base_score:.4f} -> {result.best_score:.4f} "
+        f"({result.n_downstream_calls} downstream calls)"
+    )
+
+    # 4. Batch over two dataset slices with one shared evaluation cache.
+    cache = api.EvaluationCache()
+    jobs = [
+        load_dataset("wine_quality_white", scale=0.15, seed=0),
+        load_dataset("wine_quality_white", scale=0.15, seed=0),  # identical twin
+    ]
+    jobs[1].name = "wine_quality_white_rerun"
+    results = api.run_batch(jobs, config=config, cache=cache)
+    for name, res in results.items():
+        print(f"batch[{name}]: best={res.best_score:.4f} evals={res.n_downstream_calls}")
+    print(
+        f"cache: {cache.hits} hits / {cache.misses} misses "
+        f"({100 * cache.hit_rate:.0f}% hit rate) — the rerun cost almost nothing"
+    )
+    os.unlink(ckpt)
+
+
+if __name__ == "__main__":
+    main()

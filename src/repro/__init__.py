@@ -7,23 +7,44 @@ This package is a from-scratch, laptop-scale reproduction of
 
 including every substrate the paper depends on:
 
+- :mod:`repro.api`  — the high-level facade: ``search``, ``fit_transform``,
+  ``run_batch``, cached downstream evaluation
+- :mod:`repro.core` — the FastFT framework: :class:`~repro.core.SearchSession`
+  (resumable step-wise search), callbacks, the blocking ``FastFT`` wrapper
 - :mod:`repro.ml`   — downstream tabular models and metrics (sklearn stand-in)
 - :mod:`repro.nn`   — reverse-mode autodiff, LSTM/RNN/Transformer (torch stand-in)
 - :mod:`repro.rl`   — actor-critic and DQN-family agents, prioritized replay
 - :mod:`repro.data` — seeded synthetic versions of the paper's 23 datasets
-- :mod:`repro.core` — the FastFT framework itself
 - :mod:`repro.baselines` — the 10 comparison methods of Table I
 - :mod:`repro.experiments` — harnesses regenerating every table and figure
 
-Quickstart::
+Quickstart — one call::
 
-    from repro.core import FastFT, FastFTConfig
+    from repro import api
     from repro.data import load_dataset
 
     ds = load_dataset("wine_quality_red", scale=0.5, seed=0)
-    ft = FastFT(FastFTConfig(episodes=12, steps_per_episode=6, seed=0))
-    result = ft.fit(ds.X, ds.y, task=ds.task)
+    result = api.search(ds.X, ds.y, task=ds.task, episodes=12, seed=0)
     X_new = result.transform(ds.X)
+
+Quickstart — a pausable, observable session::
+
+    from repro.core import SearchSession, FastFTConfig, TimeBudget
+
+    session = SearchSession(
+        ds.X, ds.y, task=ds.task,
+        config=FastFTConfig(episodes=12, seed=0),
+        callbacks=[TimeBudget(60)],
+    )
+    for record in session:              # one StepRecord per exploration step
+        session.checkpoint("run.ckpt")  # resumable at any point
+    result = session.result()
+
+    # later / elsewhere:
+    result = SearchSession.resume("run.ckpt").run()
+
+The classic blocking interface is unchanged:
+``FastFT(config).fit(X, y, task)`` from :mod:`repro.core`.
 """
 
 from repro._version import __version__

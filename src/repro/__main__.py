@@ -3,13 +3,20 @@
 Commands
 --------
 ``transform``    run FastFT on a registry dataset and print the discovered plan
+``resume``       continue a search from a ``--checkpoint`` file
 ``experiments``  regenerate the paper's tables/figures (delegates to run_all)
 ``datasets``     list the 23 registered Table I datasets
+
+``transform`` supports long-running searches: ``--checkpoint PATH`` writes a
+resumable session snapshot every episode, ``--time-budget SECONDS`` stops
+the search early, and ``--resume PATH`` (or the ``resume`` command) picks a
+checkpointed search back up exactly where it left off.
 """
 
 from __future__ import annotations
 
 import argparse
+import pickle
 import sys
 
 
@@ -27,26 +34,23 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_transform(args: argparse.Namespace) -> int:
-    from repro.core import FastFT, FastFTConfig
-    from repro.data import load_dataset
+def _session_callbacks(args: argparse.Namespace) -> list:
+    from repro.core.callbacks import Checkpointer, TimeBudget
 
-    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    config = FastFTConfig(
-        episodes=args.episodes,
-        steps_per_episode=args.steps,
-        cold_start_episodes=max(1, args.episodes // 4),
-        retrain_every_episodes=2,
-        component_epochs=4,
-        cv_splits=args.cv,
-        rf_estimators=8,
-        seed=args.seed,
-        verbose=args.verbose,
-    )
-    result = FastFT(config).fit(
-        dataset.X, dataset.y, task=dataset.task, feature_names=dataset.feature_names
-    )
-    print(f"dataset   : {dataset.name} ({dataset.n_samples}x{dataset.n_features}, {dataset.task})")
+    callbacks = []
+    if getattr(args, "time_budget", None) is not None:
+        callbacks.append(TimeBudget(args.time_budget))
+    if getattr(args, "checkpoint", None):
+        callbacks.append(Checkpointer(args.checkpoint))
+    return callbacks
+
+
+def _report_result(result, dataset=None, save_plan: str | None = None) -> None:
+    if dataset is not None:
+        print(
+            f"dataset   : {dataset.name} "
+            f"({dataset.n_samples}x{dataset.n_features}, {dataset.task})"
+        )
     print(f"score     : {result.base_score:.4f} -> {result.best_score:.4f}")
     print(f"downstream: {result.n_downstream_calls} calls, "
           f"eval {result.time.evaluation:.1f}s / est {result.time.estimation:.1f}s / "
@@ -54,10 +58,89 @@ def _cmd_transform(args: argparse.Namespace) -> int:
     print("plan      :")
     for expr in result.expressions():
         print(f"  {expr}")
-    if args.save_plan:
-        with open(args.save_plan, "w") as fh:
+    if save_plan:
+        with open(save_plan, "w") as fh:
             fh.write(result.plan.to_json())
-        print(f"plan saved to {args.save_plan}")
+        print(f"plan saved to {save_plan}")
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    from repro import api
+    from repro.core import FastFTConfig, SearchSession
+    from repro.data import load_dataset
+
+    if args.resume:
+        try:
+            session = SearchSession.resume(args.resume, callbacks=_session_callbacks(args))
+        except (OSError, ValueError, pickle.UnpicklingError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if session.done:
+            print(f"checkpoint {args.resume} is already finished; printing its result")
+        result = session.run()
+        if session.stop_requested:
+            print(f"stopped early: {session.stop_reason}")
+        _report_result(result, save_plan=args.save_plan)
+        return 0
+
+    if args.dataset is None:
+        print("error: a dataset name is required unless --resume is given", file=sys.stderr)
+        return 2
+    cold_start = (
+        args.cold_start_episodes
+        if args.cold_start_episodes is not None
+        else max(1, args.episodes // 4)
+    )
+    try:
+        dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        callbacks = _session_callbacks(args)
+        config = FastFTConfig(
+            episodes=args.episodes,
+            steps_per_episode=args.steps,
+            cold_start_episodes=cold_start,
+            retrain_every_episodes=args.retrain_every,
+            component_epochs=args.component_epochs,
+            cv_splits=args.cv,
+            rf_estimators=args.rf_estimators,
+            seed=args.seed,
+            verbose=args.verbose,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    session = api.session(
+        dataset.X,
+        dataset.y,
+        dataset.task,
+        config=config,
+        feature_names=dataset.feature_names,
+        callbacks=callbacks,
+    )
+    result = session.run()
+    if session.stop_requested:
+        print(f"stopped early: {session.stop_reason}")
+    _report_result(result, dataset=dataset, save_plan=args.save_plan)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    from repro.core import SearchSession
+
+    try:
+        session = SearchSession.resume(
+            args.checkpoint_file, callbacks=_session_callbacks(args)
+        )
+    except (OSError, ValueError, pickle.UnpicklingError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"resumed   : episode {session.episode}/{session.config.episodes}, "
+        f"step {session.global_step}/{session.total_steps}, task {session.task}"
+    )
+    result = session.run()
+    if session.stop_requested:
+        print(f"stopped early: {session.stop_reason}")
+    _report_result(result, save_plan=args.save_plan)
     return 0
 
 
@@ -65,8 +148,32 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.run_all import EXPERIMENTS, run_experiments
 
     names = args.only if args.only else list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"error: unknown experiments {unknown}; available: {sorted(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
     run_experiments(names, profile_name=args.profile, out_dir=args.out, seed=args.seed)
     return 0
+
+
+def _add_session_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a resumable session checkpoint here after every episode",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop the search once this much wall time has elapsed",
+    )
+    parser.add_argument("--save-plan", default=None, help="write the plan JSON here")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,15 +185,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_data.set_defaults(func=_cmd_datasets)
 
     p_tr = sub.add_parser("transform", help="run FastFT on a registry dataset")
-    p_tr.add_argument("dataset")
+    p_tr.add_argument("dataset", nargs="?", default=None, help="registry dataset name (omit with --resume)")
     p_tr.add_argument("--scale", type=float, default=0.2)
     p_tr.add_argument("--episodes", type=int, default=8)
     p_tr.add_argument("--steps", type=int, default=5)
+    p_tr.add_argument(
+        "--cold-start-episodes",
+        type=int,
+        default=None,
+        help="episodes of real-feedback cold start (default: episodes // 4, min 1)",
+    )
+    p_tr.add_argument(
+        "--retrain-every",
+        type=int,
+        default=2,
+        help="fine-tune the φ/ψ components every N episodes (default: %(default)s)",
+    )
+    p_tr.add_argument(
+        "--component-epochs",
+        type=int,
+        default=4,
+        help="training epochs per component (re)fit (default: %(default)s)",
+    )
+    p_tr.add_argument(
+        "--rf-estimators",
+        type=int,
+        default=8,
+        help="trees in the downstream random forest (default: %(default)s)",
+    )
     p_tr.add_argument("--cv", type=int, default=3)
     p_tr.add_argument("--seed", type=int, default=0)
-    p_tr.add_argument("--save-plan", default=None, help="write the plan JSON here")
+    p_tr.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="continue from a session checkpoint instead of starting fresh; "
+        "the dataset argument and all search flags are ignored — the "
+        "checkpoint carries its own config (see also the `resume` command)",
+    )
+    _add_session_flags(p_tr)
     p_tr.add_argument("--verbose", action="store_true")
     p_tr.set_defaults(func=_cmd_transform)
+
+    p_re = sub.add_parser("resume", help="continue a checkpointed search")
+    p_re.add_argument("checkpoint_file", help="checkpoint written by --checkpoint")
+    _add_session_flags(p_re)
+    p_re.set_defaults(func=_cmd_resume)
 
     p_exp = sub.add_parser("experiments", help="regenerate paper tables/figures")
     p_exp.add_argument("--profile", choices=["smoke", "default", "full"], default="smoke")

@@ -1,0 +1,241 @@
+"""Observer protocol for :class:`repro.core.session.SearchSession`.
+
+A callback receives every lifecycle event of a search session:
+
+- ``on_search_start(session)`` — after the base score is measured;
+- ``on_episode_start(session, episode)`` — a fresh feature space was built;
+- ``on_step(session, record)`` — one exploration step finished;
+- ``on_real_evaluation(session, record)`` — the step invoked the downstream
+  oracle (cold start, adaptive trigger, or the −PP ablation);
+- ``on_retrain(session, episode, stage)`` — φ/ψ were (re)fitted; ``stage`` is
+  ``"cold_start"`` for the Algorithm 1 hand-off and ``"fine_tune"`` after;
+- ``on_episode_end(session, episode)`` — the episode's last step finished;
+- ``on_finish(session, result)`` — the session produced its final result.
+
+Callbacks may call :meth:`SearchSession.request_stop` from any hook to end
+the search early; the session still returns a complete
+:class:`~repro.core.result.FastFTResult` for the work done so far.
+
+Built-ins cover the common needs: :class:`VerboseLogger` (the engine's old
+``verbose=True`` output), :class:`TimeBudget`, :class:`EarlyStopping`,
+:class:`HistoryCollector`, and :class:`Checkpointer` (periodic
+``session.checkpoint(path)`` for crash-safe long runs).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.result import FastFTResult, StepRecord
+    from repro.core.session import SearchSession
+
+__all__ = [
+    "Callback",
+    "CallbackList",
+    "VerboseLogger",
+    "TimeBudget",
+    "EarlyStopping",
+    "HistoryCollector",
+    "Checkpointer",
+]
+
+
+class Callback:
+    """No-op base class; subclass and override the hooks you need."""
+
+    def on_search_start(self, session: "SearchSession") -> None:
+        """Called once, after the base feature set has been scored."""
+
+    def on_episode_start(self, session: "SearchSession", episode: int) -> None:
+        """Called when an episode's fresh feature space is ready."""
+
+    def on_step(self, session: "SearchSession", record: "StepRecord") -> None:
+        """Called after every exploration step."""
+
+    def on_real_evaluation(self, session: "SearchSession", record: "StepRecord") -> None:
+        """Called after steps that ran the expensive downstream oracle."""
+
+    def on_retrain(self, session: "SearchSession", episode: int, stage: str) -> None:
+        """Called after φ/ψ training; ``stage`` is ``cold_start`` or ``fine_tune``."""
+
+    def on_episode_end(self, session: "SearchSession", episode: int) -> None:
+        """Called after the episode's final step (and any retraining)."""
+
+    def on_finish(self, session: "SearchSession", result: "FastFTResult") -> None:
+        """Called once with the session's final result."""
+
+
+class CallbackList(Callback):
+    """Fans every event out to a list of callbacks (in order)."""
+
+    def __init__(self, callbacks: Iterable[Callback] | None = None) -> None:
+        self.callbacks: list[Callback] = list(callbacks or [])
+
+    def append(self, callback: Callback) -> None:
+        self.callbacks.append(callback)
+
+    def on_search_start(self, session) -> None:
+        for cb in self.callbacks:
+            cb.on_search_start(session)
+
+    def on_episode_start(self, session, episode) -> None:
+        for cb in self.callbacks:
+            cb.on_episode_start(session, episode)
+
+    def on_step(self, session, record) -> None:
+        for cb in self.callbacks:
+            cb.on_step(session, record)
+
+    def on_real_evaluation(self, session, record) -> None:
+        for cb in self.callbacks:
+            cb.on_real_evaluation(session, record)
+
+    def on_retrain(self, session, episode, stage) -> None:
+        for cb in self.callbacks:
+            cb.on_retrain(session, episode, stage)
+
+    def on_episode_end(self, session, episode) -> None:
+        for cb in self.callbacks:
+            cb.on_episode_end(session, episode)
+
+    def on_finish(self, session, result) -> None:
+        for cb in self.callbacks:
+            cb.on_finish(session, result)
+
+
+class VerboseLogger(Callback):
+    """Prints the engine's classic per-episode progress lines."""
+
+    def __init__(self, stream=None) -> None:
+        self._stream = stream
+
+    def _print(self, message: str) -> None:
+        print(message, file=self._stream if self._stream is not None else sys.stdout)
+
+    def on_retrain(self, session, episode, stage) -> None:
+        label = "cold-start training" if stage == "cold_start" else "fine-tuning"
+        self._print(f"[FastFT] episode {episode}: component {label} done")
+
+    def on_episode_end(self, session, episode) -> None:
+        self._print(
+            f"[FastFT] episode {episode}: best={session.best_score:.4f} "
+            f"evals={session.n_downstream_calls} features={session.n_features}"
+        )
+
+    def on_finish(self, session, result) -> None:
+        self._print(
+            f"[FastFT] finished: base={result.base_score:.4f} "
+            f"best={result.best_score:.4f} evals={result.n_downstream_calls}"
+        )
+
+
+class TimeBudget(Callback):
+    """Stops the search once ``seconds`` of wall time have elapsed.
+
+    The budget is checked after every step, so one slow downstream
+    evaluation can overshoot it by at most a single step's cost.
+    """
+
+    def __init__(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        self.seconds = float(seconds)
+        self._started: float | None = None
+
+    @property
+    def elapsed(self) -> float:
+        return 0.0 if self._started is None else time.perf_counter() - self._started
+
+    def on_search_start(self, session) -> None:
+        self._started = time.perf_counter()
+
+    def on_step(self, session, record) -> None:
+        if self._started is None:  # resumed session: budget restarts here
+            self._started = time.perf_counter()
+        if self.elapsed >= self.seconds:
+            session.request_stop(f"time budget of {self.seconds:.1f}s exhausted")
+
+
+class EarlyStopping(Callback):
+    """Stops after ``patience`` episodes without ``min_delta`` improvement
+    of the best real downstream score."""
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = float(min_delta)
+        self._best: float | None = None
+        self._stale_episodes = 0
+
+    def on_episode_end(self, session, episode) -> None:
+        score = session.best_score
+        if self._best is None or score > self._best + self.min_delta:
+            self._best = score
+            self._stale_episodes = 0
+            return
+        self._stale_episodes += 1
+        if self._stale_episodes >= self.patience:
+            session.request_stop(
+                f"no improvement > {self.min_delta} for {self.patience} episodes"
+            )
+
+
+class HistoryCollector(Callback):
+    """Accumulates step records and per-episode summaries as they happen.
+
+    Useful for live dashboards and for harnesses that want streaming access
+    to the history without waiting for the final result object.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[StepRecord] = []
+        self.episodes: list[dict] = []
+        self.retrain_events: list[tuple[int, str]] = []
+        self.n_real_evaluations = 0
+        self._episode_boundary = 0  # records[] index where the episode began
+
+    def on_step(self, session, record) -> None:
+        self.records.append(record)
+
+    def on_real_evaluation(self, session, record) -> None:
+        self.n_real_evaluations += 1
+
+    def on_retrain(self, session, episode, stage) -> None:
+        self.retrain_events.append((episode, stage))
+
+    def on_episode_end(self, session, episode) -> None:
+        self.episodes.append(
+            {
+                "episode": episode,
+                "steps": len(self.records) - self._episode_boundary,
+                "best_score": session.best_score,
+                "n_features": session.n_features,
+                "n_downstream_calls": session.n_downstream_calls,
+            }
+        )
+        self._episode_boundary = len(self.records)
+
+
+class Checkpointer(Callback):
+    """Writes ``session.checkpoint(path)`` every ``every_episodes`` episodes
+    (and on finish), so long searches survive crashes and preemption."""
+
+    def __init__(self, path: str, every_episodes: int = 1) -> None:
+        if every_episodes < 1:
+            raise ValueError("every_episodes must be >= 1")
+        self.path = path
+        self.every_episodes = every_episodes
+        self.n_checkpoints = 0
+
+    def on_episode_end(self, session, episode) -> None:
+        if (episode + 1) % self.every_episodes == 0:
+            session.checkpoint(self.path)
+            self.n_checkpoints += 1
+
+    def on_finish(self, session, result) -> None:
+        session.checkpoint(self.path)
+        self.n_checkpoints += 1

@@ -94,10 +94,33 @@ class FastFTConfig:
             raise ValueError("cold_start_episodes must lie within [0, episodes]")
         if self.alpha < 0 or self.beta < 0:
             raise ValueError("alpha and beta must be non-negative percentiles")
+        if self.trigger_window < 1:
+            raise ValueError("trigger_window must be >= 1")
+        # With triggering active, warmup 0 would take a percentile over an
+        # empty window on the first exploration step; only the degenerate
+        # α=β=0 arm (Fig 12) may skip the warmup entirely.
+        if self.alpha > 0 or self.beta > 0:
+            if self.trigger_warmup < 1:
+                raise ValueError("trigger_warmup must be >= 1 when alpha > 0 or beta > 0")
+            # The warmup is measured against window length; a warmup the
+            # window can never reach would silently trigger a real
+            # evaluation on every step forever.
+            if self.trigger_warmup > self.trigger_window:
+                raise ValueError(
+                    "trigger_warmup must not exceed trigger_window "
+                    f"({self.trigger_warmup} > {self.trigger_window})"
+                )
         if self.novelty_decay_steps < 1:
             raise ValueError("novelty_decay_steps must be >= 1")
         if self.memory_size < 1:
             raise ValueError("memory_size must be >= 1")
+        if self.replay_batch_size < 1:
+            raise ValueError("replay_batch_size must be >= 1")
+        if self.replay_batch_size > self.memory_size:
+            raise ValueError(
+                "replay_batch_size must not exceed memory_size "
+                f"({self.replay_batch_size} > {self.memory_size})"
+            )
         if self.seq_model not in ("lstm", "rnn", "transformer"):
             raise ValueError("seq_model must be lstm, rnn or transformer")
 

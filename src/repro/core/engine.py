@@ -1,4 +1,4 @@
-"""The FastFT engine: Algorithms 1 (cold start) and 2 (efficient exploration).
+"""The blocking FastFT entry point, now a facade over :class:`SearchSession`.
 
 One :meth:`FastFT.fit` call runs the paper's four stages:
 
@@ -12,6 +12,12 @@ One :meth:`FastFT.fit` call runs the paper's four stages:
 4. **Fine-tuning** — every E episodes φ/ψ are re-fit on the prioritized
    memory's records.
 
+The step-wise state machine behind these stages lives in
+:class:`repro.core.session.SearchSession`; use it directly (or the
+:mod:`repro.api` facade) when you need pausing, callbacks, checkpointing
+or incremental observation. ``FastFT(cfg).fit(X, y, task)`` remains the
+stable blocking interface with an unchanged signature and return type.
+
 Wall time is accounted into the paper's Table II buckets: *optimization*
 (agent decisions, clustering, replay updates), *estimation* (φ/ψ forwards
 and training) and *evaluation* (downstream cross-validation).
@@ -19,157 +25,15 @@ and training) and *evaluation* (downstream cross-validation).
 
 from __future__ import annotations
 
-import json
-import time
-from collections import deque
-from dataclasses import asdict, dataclass, field
-
 import numpy as np
 
-from repro.core.agents import CascadingAgents
-from repro.core.clustering import cluster_features
+from repro.core.callbacks import Callback
 from repro.core.config import FastFTConfig
-from repro.core.novelty import NoveltyEstimator, novelty_distance
-from repro.core.operations import OPERATION_NAMES, OPERATIONS
-from repro.core.predictor import PerformancePredictor
-from repro.core.reward import NoveltyWeightSchedule, downstream_reward, pseudo_reward
-from repro.core.sequence import FeatureSpace, TransformationPlan
-from repro.core.state import describe_matrix
-from repro.core.tokens import TokenVocabulary
-from repro.ml.evaluation import TASKS, DownstreamEvaluator, default_model_for_task
-from repro.ml.mutual_info import mutual_info_with_target
-from repro.ml.preprocessing import sanitize_features
+from repro.core.result import FastFTResult, StepRecord, TimeBreakdown
+from repro.core.session import SearchSession
+from repro.ml.evaluation import DownstreamEvaluator
 
 __all__ = ["FastFT", "FastFTResult", "StepRecord", "TimeBreakdown"]
-
-
-@dataclass
-class StepRecord:
-    """Everything the experiment harnesses need about one exploration step."""
-
-    episode: int
-    step: int
-    global_step: int
-    op_name: str
-    n_new_features: int
-    score: float
-    is_real: bool
-    predicted_score: float | None
-    novelty: float
-    novelty_weight: float
-    reward: float
-    priority: float
-    n_features: int
-    n_clusters: int
-    best_score_so_far: float
-    time_optimization: float
-    time_estimation: float
-    time_evaluation: float
-    new_expressions: list[str] = field(default_factory=list)
-    novelty_distance: float = 1.0
-    unencountered_total: int = 0
-    triggered: bool = False
-    # Token sequence T_i at this step — lets analyses (Fig 14) compute
-    # embedding-based metrics post hoc, independent of the ablation arm.
-    sequence_tokens: list[int] = field(default_factory=list)
-
-
-@dataclass
-class TimeBreakdown:
-    """Table II's per-run time buckets (seconds)."""
-
-    optimization: float = 0.0
-    estimation: float = 0.0
-    evaluation: float = 0.0
-
-    @property
-    def overall(self) -> float:
-        return self.optimization + self.estimation + self.evaluation
-
-    def per_episode(self, episodes: int) -> "TimeBreakdown":
-        if episodes < 1:
-            raise ValueError("episodes must be >= 1")
-        return TimeBreakdown(
-            self.optimization / episodes,
-            self.estimation / episodes,
-            self.evaluation / episodes,
-        )
-
-
-@dataclass
-class FastFTResult:
-    """Outcome of one FastFT run: best plan, scores, full step history."""
-
-    base_score: float
-    best_score: float
-    plan: TransformationPlan
-    history: list[StepRecord]
-    time: TimeBreakdown
-    n_downstream_calls: int
-    config: FastFTConfig
-    task: str
-
-    def transform(self, X: np.ndarray) -> np.ndarray:
-        """Apply the best transformation plan T* to (possibly new) data."""
-        return self.plan.apply(X)
-
-    @property
-    def improvement(self) -> float:
-        return self.best_score - self.base_score
-
-    def expressions(self) -> list[str]:
-        """Traceable formulas of the best feature set (Table IV / Fig 15)."""
-        return self.plan.expressions()
-
-    def reward_peaks(self, top_k: int = 5) -> list[StepRecord]:
-        """Steps with the highest rewards — the Fig 15 case-study view."""
-        return sorted(self.history, key=lambda r: r.reward, reverse=True)[:top_k]
-
-    def save(self, path: str) -> None:
-        """Persist the full run (plan, history, config, timings) as JSON."""
-        payload = {
-            "base_score": self.base_score,
-            "best_score": self.best_score,
-            "task": self.task,
-            "n_downstream_calls": self.n_downstream_calls,
-            "time": {
-                "optimization": self.time.optimization,
-                "estimation": self.time.estimation,
-                "evaluation": self.time.evaluation,
-            },
-            "plan": json.loads(self.plan.to_json()),
-            "config": {
-                k: (list(v) if isinstance(v, tuple) else v)
-                for k, v in asdict(self.config).items()
-            },
-            "history": [asdict(record) for record in self.history],
-        }
-        with open(path, "w") as fh:
-            json.dump(payload, fh)
-
-    @classmethod
-    def load(cls, path: str) -> "FastFTResult":
-        """Restore a run saved by :meth:`save`."""
-        with open(path) as fh:
-            payload = json.load(fh)
-        config_raw = dict(payload["config"])
-        for key in ("predictor_head_dims", "novelty_head_dims"):
-            config_raw[key] = tuple(config_raw[key])
-        time_raw = payload["time"]
-        return cls(
-            base_score=payload["base_score"],
-            best_score=payload["best_score"],
-            plan=TransformationPlan.from_json(json.dumps(payload["plan"])),
-            history=[StepRecord(**record) for record in payload["history"]],
-            time=TimeBreakdown(
-                optimization=time_raw["optimization"],
-                estimation=time_raw["estimation"],
-                evaluation=time_raw["evaluation"],
-            ),
-            n_downstream_calls=payload["n_downstream_calls"],
-            config=FastFTConfig(**config_raw),
-            task=payload["task"],
-        )
 
 
 class FastFT:
@@ -183,77 +47,25 @@ class FastFT:
     def __init__(self, config: FastFTConfig | None = None) -> None:
         self.config = config or FastFTConfig()
 
-    # -- helpers -------------------------------------------------------------
-
-    def _make_components(
-        self, vocab_size: int
-    ) -> tuple[PerformancePredictor | None, NoveltyEstimator | None]:
-        cfg = self.config
-        predictor = None
-        novelty = None
-        if cfg.use_performance_predictor:
-            predictor = PerformancePredictor(
-                vocab_size,
-                seq_model=cfg.seq_model,
-                embed_dim=cfg.embed_dim,
-                hidden_dim=cfg.hidden_dim,
-                num_layers=cfg.encoder_layers,
-                head_dims=cfg.predictor_head_dims,
-                lr=cfg.component_lr,
-                seed=cfg.seed,
-            )
-        if cfg.use_novelty:
-            novelty = NoveltyEstimator(
-                vocab_size,
-                seq_model=cfg.seq_model,
-                embed_dim=cfg.embed_dim,
-                hidden_dim=cfg.hidden_dim,
-                num_layers=cfg.encoder_layers,
-                estimator_head_dims=cfg.novelty_head_dims,
-                orthogonal_gain=cfg.orthogonal_gain,
-                lr=cfg.component_lr,
-                seed=cfg.seed,
-            )
-        return predictor, novelty
-
-    @staticmethod
-    def _cluster_fids(space: FeatureSpace, column_clusters: list[list[int]]) -> list[list[int]]:
-        live = space.live_ids
-        return [[live[c] for c in cols] for cols in column_clusters]
-
-    def _recluster(
-        self, space: FeatureSpace, y: np.ndarray, task: str
-    ) -> tuple[list[list[int]], np.ndarray, np.ndarray]:
-        cfg = self.config
-        matrix = sanitize_features(space.matrix())
-        column_clusters = cluster_features(
-            matrix,
+    def session(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        task: str = "classification",
+        feature_names: list[str] | None = None,
+        evaluator: DownstreamEvaluator | None = None,
+        callbacks: list[Callback] | None = None,
+    ) -> SearchSession:
+        """Build (but do not start) a resumable search session."""
+        return SearchSession(
+            X,
             y,
             task=task,
-            distance_threshold=cfg.cluster_threshold,
-            max_clusters=cfg.max_clusters,
-            n_bins=cfg.mi_bins,
-            max_rows=cfg.mi_max_rows,
-            seed=cfg.seed,
+            config=self.config,
+            feature_names=feature_names,
+            evaluator=evaluator,
+            callbacks=callbacks,
         )
-        fid_clusters = self._cluster_fids(space, column_clusters)
-        overall_rep = describe_matrix(matrix)
-        cluster_reps = np.stack(
-            [describe_matrix(space.matrix(fids)) for fids in fid_clusters]
-        )
-        return fid_clusters, overall_rep, cluster_reps
-
-    def _prune(self, space: FeatureSpace, y: np.ndarray, task: str, cap: int) -> None:
-        if space.n_features <= cap:
-            return
-        matrix = sanitize_features(space.matrix())
-        relevance = mutual_info_with_target(matrix, y, task=task, n_bins=self.config.mi_bins)
-        live = space.live_ids
-        order = np.argsort(-relevance)
-        keep = [live[i] for i in order[:cap]]
-        space.prune(keep)
-
-    # -- main loop ---------------------------------------------------------------
 
     def fit(
         self,
@@ -264,323 +76,7 @@ class FastFT:
         evaluator: DownstreamEvaluator | None = None,
     ) -> FastFTResult:
         """Search for the optimal transformation sequence T* (Eq. 1)."""
-        if task not in TASKS:
-            raise ValueError(f"Unknown task {task!r}; expected one of {TASKS}")
-        cfg = self.config
-        X = sanitize_features(np.asarray(X, dtype=float))
-        y = np.asarray(y)
-        rng = np.random.default_rng(cfg.seed)
-
-        evaluator = evaluator or DownstreamEvaluator(
-            task,
-            model=default_model_for_task(
-                task, n_estimators=cfg.rf_estimators, max_depth=cfg.rf_max_depth, seed=cfg.seed
-            ),
-            n_splits=cfg.cv_splits,
-            seed=cfg.seed,
-        )
-        vocab = TokenVocabulary(OPERATION_NAMES, n_feature_slots=cfg.feature_slots)
-        predictor, novelty = self._make_components(len(vocab))
-        agents = CascadingAgents(
-            n_ops=len(OPERATIONS),
-            framework=cfg.rl_framework,
-            hidden=cfg.agent_hidden,
-            lr=cfg.agent_lr,
-            gamma=cfg.gamma,
-            entropy_coef=cfg.entropy_coef,
-            memory_size=cfg.memory_size,
-            replay_batch_size=cfg.replay_batch_size,
-            prioritized=cfg.prioritized_replay,
-            per_alpha=cfg.per_alpha,
-            per_beta=cfg.per_beta,
-            seed=cfg.seed,
-        )
-        schedule = NoveltyWeightSchedule(
-            cfg.novelty_weight_start, cfg.novelty_weight_end, cfg.novelty_decay_steps
-        )
-
-        timers = TimeBreakdown()
-        history: list[StepRecord] = []
-        feature_cap = cfg.resolved_max_features(X.shape[1])
-
-        base_space = FeatureSpace(X, feature_names)
-        base_score = evaluator(X, y)
-        timers.evaluation += evaluator.total_time
-        evaluator.reset_counters()
-        n_eval_calls = 1
-
-        best_real_score = base_score
-        best_real_plan = base_space.snapshot()
-        best_pseudo_score = -np.inf
-        best_pseudo_plan: TransformationPlan | None = None
-
-        # Training records for the evaluation components.
-        eval_sequences: deque[np.ndarray] = deque(maxlen=cfg.eval_record_cap)
-        eval_scores: deque[float] = deque(maxlen=cfg.eval_record_cap)
-        seen_sequences: deque[np.ndarray] = deque(maxlen=2 * cfg.eval_record_cap)
-
-        # Adaptive-trigger percentile windows (§III-D).
-        pred_window: deque[float] = deque(maxlen=cfg.trigger_window)
-        nov_window: deque[float] = deque(maxlen=cfg.trigger_window)
-
-        # Fig 14 bookkeeping.
-        embedding_history: list[np.ndarray] = []
-        seen_expressions: set[str] = set()
-        unencountered_total = 0
-
-        global_step = 0
-        components_trained = False
-
-        for episode in range(cfg.episodes):
-            space = FeatureSpace(X, feature_names)
-            body_tokens: list[int] = []
-            prev_seq = vocab.finalize(body_tokens, cfg.max_seq_len)
-
-            t0 = time.perf_counter()
-            clusters, overall_rep, cluster_reps = self._recluster(space, y, task)
-            timers.optimization += time.perf_counter() - t0
-
-            prev_score_used = base_score
-            prev_phi: float | None = None
-
-            for step in range(cfg.steps_per_episode):
-                # ---- decide & transform (optimization bucket) ----
-                t0 = time.perf_counter()
-                decision = agents.decide(
-                    overall_rep,
-                    cluster_reps,
-                    is_binary=lambda op_idx: OPERATIONS[op_idx].arity == 2,
-                )
-                op = OPERATIONS[decision.op_index]
-                head_fids = clusters[decision.head_index]
-                if op.arity == 2:
-                    tail_fids = clusters[decision.tail_index]
-                    new_fids = space.apply_binary(
-                        op.name, head_fids, tail_fids, max_new=cfg.max_new_per_step, rng=rng
-                    )
-                    body_tokens.extend(vocab.step_tokens(op.name, head_fids, tail_fids))
-                else:
-                    tail_fids = None
-                    new_fids = space.apply_unary(op.name, head_fids[: cfg.max_new_per_step])
-                    body_tokens.extend(vocab.step_tokens(op.name, head_fids))
-                seq = vocab.finalize(body_tokens, cfg.max_seq_len)
-                self._prune(space, y, task, feature_cap)
-                timers.optimization += time.perf_counter() - t0
-
-                new_expressions = [space.expression(f) for f in new_fids]
-                fresh = [e for e in new_expressions if e not in seen_expressions]
-                unencountered_total += len(fresh)
-                seen_expressions.update(fresh)
-
-                # ---- score the new feature set ----
-                in_cold_start = episode < cfg.cold_start_episodes or not components_trained
-                use_components = (
-                    cfg.use_performance_predictor and components_trained and not in_cold_start
-                )
-
-                phi_i: float | None = None
-                nov = 0.0
-                nov_raw = 0.0
-                nov_dist = 1.0
-                triggered = False
-                time_estimation = 0.0
-                time_evaluation = 0.0
-
-                if novelty is not None and components_trained:
-                    t1 = time.perf_counter()
-                    nov_raw = novelty.score(seq)
-                    # Running-std normalization keeps the intrinsic term on
-                    # the same scale as the performance delta regardless of
-                    # the orthogonal target's gain (standard RND practice);
-                    # the raw value feeds the trigger percentile window.
-                    if len(nov_window) >= 2:
-                        scale = float(np.std(nov_window)) + 1e-8
-                        nov = float(np.tanh(nov_raw / scale))
-                    else:
-                        nov = 1.0 if nov_raw > 0 else 0.0
-                    emb = novelty.embedding(seq)
-                    nov_dist = novelty_distance(emb, np.array(embedding_history) if embedding_history else None)
-                    embedding_history.append(emb)
-                    time_estimation += time.perf_counter() - t1
-
-                if use_components:
-                    t1 = time.perf_counter()
-                    phi_i = predictor.predict(seq)
-                    if prev_phi is None:
-                        prev_phi = predictor.predict(prev_seq)
-                    time_estimation += time.perf_counter() - t1
-
-                    triggered = self._should_trigger(phi_i, nov_raw, pred_window, nov_window)
-                    pred_window.append(phi_i)
-
-                    if triggered:
-                        t1 = time.perf_counter()
-                        score = evaluator(space.matrix(), y)
-                        time_evaluation += time.perf_counter() - t1
-                        n_eval_calls += 1
-                        is_real = True
-                    else:
-                        score = phi_i
-                        is_real = False
-                    eps_i = schedule.weight(global_step) if novelty is not None else 0.0
-                    reward = pseudo_reward(
-                        score if is_real else phi_i,
-                        prev_phi if prev_phi is not None else 0.0,
-                        nov,
-                        eps_i,
-                    )
-                    prev_phi = phi_i
-                else:
-                    # Cold start (Algorithm 1) or the −PP ablation: real feedback.
-                    t1 = time.perf_counter()
-                    score = evaluator(space.matrix(), y)
-                    time_evaluation += time.perf_counter() - t1
-                    n_eval_calls += 1
-                    is_real = True
-                    eps_i = (
-                        schedule.weight(global_step)
-                        if (novelty is not None and components_trained)
-                        else 0.0
-                    )
-                    reward = downstream_reward(score, prev_score_used) + eps_i * nov
-
-                if novelty is not None and components_trained:
-                    nov_window.append(nov_raw)
-                timers.estimation += time_estimation
-                timers.evaluation += time_evaluation
-                prev_score_used = score
-                prev_seq = seq
-
-                # ---- best tracking ----
-                if is_real:
-                    eval_sequences.append(seq)
-                    eval_scores.append(score)
-                    if score > best_real_score:
-                        best_real_score = score
-                        best_real_plan = space.snapshot()
-                elif score > best_pseudo_score:
-                    best_pseudo_score = score
-                    best_pseudo_plan = space.snapshot()
-                seen_sequences.append(seq)
-
-                # ---- remember & learn (optimization bucket) ----
-                t0 = time.perf_counter()
-                clusters, overall_rep_next, cluster_reps_next = self._recluster(space, y, task)
-                done = step == cfg.steps_per_episode - 1
-                priority = agents.store(
-                    decision, reward, overall_rep_next, cluster_reps_next, done
-                )
-                agents.optimize()
-                overall_rep, cluster_reps = overall_rep_next, cluster_reps_next
-                timers.optimization += time.perf_counter() - t0
-
-                best_so_far = max(best_real_score, base_score)
-                history.append(
-                    StepRecord(
-                        episode=episode,
-                        step=step,
-                        global_step=global_step,
-                        op_name=op.name,
-                        n_new_features=len(new_fids),
-                        score=score,
-                        is_real=is_real,
-                        predicted_score=phi_i,
-                        novelty=nov,
-                        novelty_weight=schedule.weight(global_step),
-                        reward=reward,
-                        priority=priority,
-                        n_features=space.n_features,
-                        n_clusters=len(clusters),
-                        best_score_so_far=best_so_far,
-                        time_optimization=0.0,
-                        time_estimation=time_estimation,
-                        time_evaluation=time_evaluation,
-                        new_expressions=new_expressions,
-                        novelty_distance=nov_dist,
-                        unencountered_total=unencountered_total,
-                        triggered=triggered,
-                        sequence_tokens=[int(t) for t in seq],
-                    )
-                )
-                global_step += 1
-
-            # ---- stage transitions: component training / fine-tuning ----
-            finished_cold_start = episode == cfg.cold_start_episodes - 1
-            due_finetune = (
-                components_trained
-                and cfg.retrain_every_episodes > 0
-                and (episode - cfg.cold_start_episodes + 1) % cfg.retrain_every_episodes == 0
-            )
-            if (finished_cold_start or due_finetune) and eval_sequences:
-                t1 = time.perf_counter()
-                if predictor is not None:
-                    predictor.fit(
-                        list(eval_sequences),
-                        np.array(eval_scores),
-                        epochs=cfg.component_epochs,
-                        rng=rng,
-                    )
-                if novelty is not None:
-                    novelty.fit(
-                        list(seen_sequences), epochs=cfg.component_epochs, rng=rng
-                    )
-                timers.estimation += time.perf_counter() - t1
-                components_trained = True
-                if cfg.verbose:
-                    stage = "cold-start training" if finished_cold_start else "fine-tuning"
-                    print(f"[FastFT] episode {episode}: component {stage} done")
-
-            if cfg.verbose:
-                print(
-                    f"[FastFT] episode {episode}: best={best_real_score:.4f} "
-                    f"evals={n_eval_calls} features={space.n_features}"
-                )
-
-        # ---- final validation of the pseudo-best candidate ----
-        best_score, best_plan = best_real_score, best_real_plan
-        if best_pseudo_plan is not None and best_pseudo_score > best_real_score:
-            t1 = time.perf_counter()
-            validated = evaluator(best_pseudo_plan.apply(X), y)
-            timers.evaluation += time.perf_counter() - t1
-            n_eval_calls += 1
-            if validated > best_score:
-                best_score, best_plan = validated, best_pseudo_plan
-
-        return FastFTResult(
-            base_score=base_score,
-            best_score=best_score,
-            plan=best_plan,
-            history=history,
-            time=timers,
-            n_downstream_calls=n_eval_calls,
-            config=cfg,
-            task=task,
-        )
-
-    def _should_trigger(
-        self,
-        predicted: float,
-        nov: float,
-        pred_window: deque,
-        nov_window: deque,
-    ) -> bool:
-        """§III-D adaptive strategy: real evaluation for top-α% predicted
-        performance or top-β% novelty. α=β=0 disables downstream evaluation
-        entirely (the degenerate setting of Fig 12)."""
-        cfg = self.config
-        if cfg.alpha <= 0 and cfg.beta <= 0:
-            return False
-        if len(pred_window) < cfg.trigger_warmup:
-            return True
-        if cfg.alpha > 0:
-            threshold = float(np.percentile(pred_window, 100 - cfg.alpha))
-            if predicted >= threshold:
-                return True
-        if cfg.beta > 0 and len(nov_window) >= cfg.trigger_warmup:
-            threshold = float(np.percentile(nov_window, 100 - cfg.beta))
-            if nov >= threshold:
-                return True
-        return False
+        return self.session(X, y, task, feature_names, evaluator).run()
 
     def fit_transform(
         self,

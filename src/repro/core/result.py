@@ -1,0 +1,160 @@
+"""Run artifacts: per-step records, Table II time buckets, and run results.
+
+These types are produced by :class:`repro.core.session.SearchSession` (and
+therefore by the back-compat :meth:`repro.core.engine.FastFT.fit` wrapper).
+They live in their own module so the session, the engine facade and the
+:mod:`repro.api` layer can all share them without import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.core.config import FastFTConfig
+from repro.core.sequence import TransformationPlan
+
+__all__ = ["StepRecord", "TimeBreakdown", "FastFTResult"]
+
+
+@dataclass
+class StepRecord:
+    """Everything the experiment harnesses need about one exploration step."""
+
+    episode: int
+    step: int
+    global_step: int
+    op_name: str
+    n_new_features: int
+    score: float
+    is_real: bool
+    predicted_score: float | None
+    novelty: float
+    novelty_weight: float
+    reward: float
+    priority: float
+    n_features: int
+    n_clusters: int
+    best_score_so_far: float
+    time_optimization: float
+    time_estimation: float
+    time_evaluation: float
+    new_expressions: list[str] = field(default_factory=list)
+    novelty_distance: float = 1.0
+    unencountered_total: int = 0
+    triggered: bool = False
+    # Token sequence T_i at this step — lets analyses (Fig 14) compute
+    # embedding-based metrics post hoc, independent of the ablation arm.
+    sequence_tokens: list[int] = field(default_factory=list)
+
+    # Wall-clock fields vary between otherwise identical runs; everything
+    # else is deterministic given the seed.
+    TIMING_FIELDS = ("time_optimization", "time_estimation", "time_evaluation")
+
+    def deterministic_dict(self) -> dict:
+        """The record minus wall-clock timings — the fields that must be
+        bit-identical between a resumed run and an uninterrupted one."""
+        payload = asdict(self)
+        for key in self.TIMING_FIELDS:
+            payload.pop(key)
+        return payload
+
+
+@dataclass
+class TimeBreakdown:
+    """Table II's per-run time buckets (seconds)."""
+
+    optimization: float = 0.0
+    estimation: float = 0.0
+    evaluation: float = 0.0
+
+    @property
+    def overall(self) -> float:
+        return self.optimization + self.estimation + self.evaluation
+
+    def per_episode(self, episodes: int) -> "TimeBreakdown":
+        if episodes < 1:
+            raise ValueError("episodes must be >= 1")
+        return TimeBreakdown(
+            self.optimization / episodes,
+            self.estimation / episodes,
+            self.evaluation / episodes,
+        )
+
+
+@dataclass
+class FastFTResult:
+    """Outcome of one FastFT run: best plan, scores, full step history."""
+
+    base_score: float
+    best_score: float
+    plan: TransformationPlan
+    history: list[StepRecord]
+    time: TimeBreakdown
+    n_downstream_calls: int
+    config: FastFTConfig
+    task: str
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the best transformation plan T* to (possibly new) data."""
+        return self.plan.apply(X)
+
+    @property
+    def improvement(self) -> float:
+        return self.best_score - self.base_score
+
+    def expressions(self) -> list[str]:
+        """Traceable formulas of the best feature set (Table IV / Fig 15)."""
+        return self.plan.expressions()
+
+    def reward_peaks(self, top_k: int = 5) -> list[StepRecord]:
+        """Steps with the highest rewards — the Fig 15 case-study view."""
+        return sorted(self.history, key=lambda r: r.reward, reverse=True)[:top_k]
+
+    def save(self, path: str) -> None:
+        """Persist the full run (plan, history, config, timings) as JSON."""
+        payload = {
+            "base_score": self.base_score,
+            "best_score": self.best_score,
+            "task": self.task,
+            "n_downstream_calls": self.n_downstream_calls,
+            "time": {
+                "optimization": self.time.optimization,
+                "estimation": self.time.estimation,
+                "evaluation": self.time.evaluation,
+            },
+            "plan": json.loads(self.plan.to_json()),
+            "config": {
+                k: (list(v) if isinstance(v, tuple) else v)
+                for k, v in asdict(self.config).items()
+            },
+            "history": [asdict(record) for record in self.history],
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+
+    @classmethod
+    def load(cls, path: str) -> "FastFTResult":
+        """Restore a run saved by :meth:`save`."""
+        with open(path) as fh:
+            payload = json.load(fh)
+        config_raw = dict(payload["config"])
+        for key in ("predictor_head_dims", "novelty_head_dims"):
+            config_raw[key] = tuple(config_raw[key])
+        time_raw = payload["time"]
+        return cls(
+            base_score=payload["base_score"],
+            best_score=payload["best_score"],
+            plan=TransformationPlan.from_json(json.dumps(payload["plan"])),
+            history=[StepRecord(**record) for record in payload["history"]],
+            time=TimeBreakdown(
+                optimization=time_raw["optimization"],
+                estimation=time_raw["estimation"],
+                evaluation=time_raw["evaluation"],
+            ),
+            n_downstream_calls=payload["n_downstream_calls"],
+            config=FastFTConfig(**config_raw),
+            task=payload["task"],
+        )

@@ -1,4 +1,10 @@
-"""Shared experiment plumbing: build configured methods and run them on datasets."""
+"""Shared experiment plumbing: build configured methods and run them on datasets.
+
+FastFT runs go through the session/callback API (:mod:`repro.api`), so
+callers can attach observers (history collectors, time budgets,
+checkpointers) or a shared :class:`repro.api.EvaluationCache` without
+touching the experiment code.
+"""
 
 from __future__ import annotations
 
@@ -6,10 +12,12 @@ import time
 
 import numpy as np
 
+from repro import api
 from repro.baselines import BASELINE_REGISTRY
 from repro.baselines.base import BaselineResult
+from repro.core.callbacks import Callback
 from repro.core.config import FastFTConfig
-from repro.core.engine import FastFT, FastFTResult
+from repro.core.result import FastFTResult
 from repro.data import Dataset, load_dataset
 from repro.experiments.profiles import RunProfile
 
@@ -66,13 +74,30 @@ def load_profile_dataset(name: str, profile: RunProfile, seed: int = 0) -> Datas
 
 
 def run_fastft_on_dataset(
-    dataset: Dataset, profile: RunProfile, seed: int | None = 0, **config_overrides
+    dataset: Dataset,
+    profile: RunProfile,
+    seed: int | None = 0,
+    callbacks: list[Callback] | None = None,
+    cache: "api.EvaluationCache | None" = None,
+    **config_overrides,
 ) -> tuple[FastFTResult, float]:
-    """Run FastFT; returns (result, wall_seconds)."""
+    """Run FastFT via the session API; returns (result, wall_seconds).
+
+    ``callbacks`` attaches observers (e.g. a
+    :class:`~repro.core.callbacks.HistoryCollector` for a streaming view,
+    or a ``TimeBudget``) and ``cache`` shares downstream-evaluation
+    results across runs.
+    """
     config = make_fastft_config(profile, seed=seed, **config_overrides)
     start = time.perf_counter()
-    result = FastFT(config).fit(
-        dataset.X, dataset.y, task=dataset.task, feature_names=dataset.feature_names
+    result = api.search(
+        dataset.X,
+        dataset.y,
+        dataset.task,
+        config=config,
+        feature_names=dataset.feature_names,
+        callbacks=callbacks,
+        cache=cache,
     )
     return result, time.perf_counter() - start
 

@@ -118,3 +118,30 @@ class TestFastFTConfig:
         cfg2 = FastFTConfig(max_features=5)
         assert cfg2.resolved_max_features(10) == 10  # never below original count
         assert cfg2.resolved_max_features(3) == 5
+
+    def test_trigger_window_validation(self):
+        with pytest.raises(ValueError, match="trigger_window"):
+            FastFTConfig(trigger_window=0)
+
+    def test_trigger_warmup_validation(self):
+        # With triggering active a zero warmup would percentile an empty
+        # window on the first exploration step.
+        with pytest.raises(ValueError, match="trigger_warmup"):
+            FastFTConfig(trigger_warmup=0)
+        with pytest.raises(ValueError, match="trigger_warmup"):
+            FastFTConfig(trigger_warmup=0, alpha=0.0, beta=5.0)
+        # The degenerate Fig 12 arm (alpha = beta = 0) never consults the
+        # warmup, so 0 stays legal there.
+        assert FastFTConfig(trigger_warmup=0, alpha=0.0, beta=0.0).trigger_warmup == 0
+        # A warmup the window can never reach would force a real evaluation
+        # on every step forever.
+        with pytest.raises(ValueError, match="trigger_warmup"):
+            FastFTConfig(trigger_window=4, trigger_warmup=8)
+        assert FastFTConfig(trigger_window=4, trigger_warmup=4).trigger_warmup == 4
+
+    def test_replay_batch_validation(self):
+        with pytest.raises(ValueError, match="replay_batch_size"):
+            FastFTConfig(replay_batch_size=0)
+        with pytest.raises(ValueError, match="replay_batch_size"):
+            FastFTConfig(memory_size=4, replay_batch_size=8)
+        assert FastFTConfig(memory_size=8, replay_batch_size=8).replay_batch_size == 8

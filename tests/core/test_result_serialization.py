@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 import numpy as np
 import pytest
 
@@ -65,3 +67,52 @@ class TestResultRoundtrip:
         result.save(str(path))
         restored = FastFTResult.load(str(path))
         assert restored.time.overall == pytest.approx(result.time.overall)
+
+    def test_step_records_roundtrip_exactly(self, run_result, tmp_path):
+        """Every StepRecord field — including sequence_tokens — survives."""
+        result, _ = run_result
+        path = tmp_path / "run.json"
+        result.save(str(path))
+        restored = FastFTResult.load(str(path))
+        for original, loaded in zip(result.history, restored.history):
+            assert asdict(loaded) == asdict(original)
+        assert any(r.sequence_tokens for r in restored.history)
+        assert all(
+            isinstance(t, int) for r in restored.history for t in r.sequence_tokens
+        )
+
+
+class TestConfigVariantRoundtrip:
+    @staticmethod
+    def _fit_with(config_overrides, tmp_path, name):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(90, 3))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        cfg = FastFTConfig(
+            episodes=1, steps_per_episode=2, cold_start_episodes=1,
+            retrain_every_episodes=1, component_epochs=1, cv_splits=3,
+            rf_estimators=3, max_clusters=3, mi_max_rows=64, seed=0,
+            **config_overrides,
+        )
+        result = FastFT(cfg).fit(X, y, task="classification")
+        path = tmp_path / f"{name}.json"
+        result.save(str(path))
+        return result, FastFTResult.load(str(path))
+
+    def test_cluster_threshold_auto_roundtrip(self, tmp_path):
+        result, restored = self._fit_with({"cluster_threshold": "auto"}, tmp_path, "auto")
+        assert restored.config.cluster_threshold == "auto"
+        assert asdict(restored.config) == asdict(result.config)
+
+    def test_cluster_threshold_float_roundtrip(self, tmp_path):
+        result, restored = self._fit_with({"cluster_threshold": 0.75}, tmp_path, "float")
+        assert restored.config.cluster_threshold == 0.75
+        assert isinstance(restored.config.cluster_threshold, float)
+
+    def test_custom_head_dims_roundtrip(self, tmp_path):
+        overrides = {"predictor_head_dims": (8, 4, 1), "novelty_head_dims": (8, 1)}
+        _, restored = self._fit_with(overrides, tmp_path, "heads")
+        assert restored.config.predictor_head_dims == (8, 4, 1)
+        assert restored.config.novelty_head_dims == (8, 1)
+        assert isinstance(restored.config.predictor_head_dims, tuple)
+        assert isinstance(restored.config.novelty_head_dims, tuple)

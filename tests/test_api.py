@@ -1,0 +1,206 @@
+"""Tests for the repro.api facade: search, caching, and batch runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core import FastFTConfig
+from repro.data import Dataset
+from repro.ml.evaluation import DownstreamEvaluator
+
+TINY = dict(
+    episodes=2,
+    steps_per_episode=2,
+    cold_start_episodes=1,
+    retrain_every_episodes=1,
+    component_epochs=1,
+    trigger_warmup=2,
+    cv_splits=3,
+    rf_estimators=3,
+    max_clusters=3,
+    mi_max_rows=64,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(110, 4))
+    y = (X[:, 0] * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+class TestSearch:
+    def test_search_with_keyword_overrides(self, problem):
+        X, y = problem
+        result = api.search(X, y, "classification", **TINY)
+        assert result.best_score >= result.base_score
+        assert result.config.episodes == 2
+        assert len(result.history) == 4
+
+    def test_search_with_config_object_and_override(self, problem):
+        X, y = problem
+        cfg = FastFTConfig(**TINY)
+        result = api.search(X, y, "classification", config=cfg, seed=1)
+        assert result.config.seed == 1
+        assert cfg.seed == 0  # the caller's config is not mutated
+
+    def test_search_matches_engine(self, problem):
+        from repro.core import FastFT
+
+        X, y = problem
+        a = api.search(X, y, "classification", **TINY)
+        b = FastFT(FastFTConfig(**TINY)).fit(X, y, task="classification")
+        assert a.best_score == b.best_score
+        assert [r.op_name for r in a.history] == [r.op_name for r in b.history]
+
+    def test_fit_transform_shape(self, problem):
+        X, y = problem
+        out = api.fit_transform(X, y, "classification", **TINY)
+        assert out.shape[0] == X.shape[0]
+        assert np.isfinite(out).all()
+
+    def test_search_time_budget_kwarg(self, problem):
+        X, y = problem
+        result = api.search(X, y, "classification", time_budget=1e-9, **TINY)
+        assert len(result.history) == 1
+
+    def test_search_checkpoint_kwarg(self, problem, tmp_path):
+        from repro.core import SearchSession
+
+        X, y = problem
+        path = str(tmp_path / "api.ckpt")
+        result = api.search(X, y, "classification", checkpoint_path=path, **TINY)
+        resumed = SearchSession.resume(path)
+        assert resumed.done
+        assert resumed.result().best_score == result.best_score
+
+
+class TestEvaluationCache:
+    def test_repeated_plan_workload_reduces_downstream_calls(self, problem):
+        """Acceptance: a repeated-plan workload must hit the cache instead of
+        re-running cross-validation."""
+        X, y = problem
+        cache = api.EvaluationCache()
+        first = api.search(X, y, "classification", cache=cache, **TINY)
+        assert first.n_downstream_calls > 0
+        second = api.search(X, y, "classification", cache=cache, **TINY)
+        # The identical (seeded) search replays identical feature matrices:
+        # every downstream evaluation is served from the cache.
+        assert second.n_downstream_calls < first.n_downstream_calls
+        assert second.best_score == first.best_score
+        assert cache.hits >= first.n_downstream_calls
+        assert cache.hit_rate > 0
+
+    def test_cached_evaluator_exact_scores(self, problem):
+        X, y = problem
+        cache = api.EvaluationCache()
+        inner = DownstreamEvaluator("classification", n_splits=3, seed=0)
+        cached = cache.wrap(inner)
+        a = cached(X, y)
+        b = cached(X, y)
+        assert a == b
+        assert inner.n_calls == 1  # second call never reached the oracle
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_evaluators_do_not_collide(self, problem):
+        X, y = problem
+        cache = api.EvaluationCache()
+        three = cache.wrap(DownstreamEvaluator("classification", n_splits=3, seed=0))
+        four = cache.wrap(DownstreamEvaluator("classification", n_splits=4, seed=0))
+        s3 = three(X, y)
+        s4 = four(X, y)
+        assert cache.misses == 2  # different fingerprints -> different keys
+        assert s3 != s4 or len(cache) == 2
+
+    def test_distinct_matrices_do_not_collide(self, problem):
+        X, y = problem
+        cache = api.EvaluationCache()
+        cached = cache.wrap(DownstreamEvaluator("classification", n_splits=3, seed=0))
+        cached(X, y)
+        cached(X + 1.0, y)
+        assert cache.misses == 2
+
+    def test_eviction_respects_max_entries(self):
+        cache = api.EvaluationCache(max_entries=2)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        cache.put("c", 3.0)
+        assert len(cache) == 2
+        assert cache._entries.get("a") is None  # oldest evicted
+
+    def test_clear(self, problem):
+        X, y = problem
+        cache = api.EvaluationCache()
+        cached = cache.wrap(DownstreamEvaluator("classification", n_splits=3, seed=0))
+        cached(X, y)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            api.EvaluationCache(max_entries=0)
+
+    def test_cache_survives_checkpoint(self, problem, tmp_path):
+        from repro.core import SearchSession
+
+        X, y = problem
+        cache = api.EvaluationCache()
+        session = api.session(X, y, "classification", cache=cache, **TINY)
+        session.run(until=2)
+        path = str(tmp_path / "cached.ckpt")
+        session.checkpoint(path)
+        resumed = SearchSession.resume(path)
+        resumed_cache = resumed._evaluator.cache
+        assert len(resumed_cache) == len(cache)
+        resumed.run()
+        assert resumed.finished
+
+
+class TestRunBatch:
+    def test_batch_over_tuples_and_datasets(self, problem):
+        X, y = problem
+        ds = Dataset(name="named", X=X, y=y, task="classification")
+        results = api.run_batch([("tup", X, y, "classification"), ds], **TINY)
+        assert list(results) == ["tup", "named"]
+        assert all(r.best_score >= r.base_score for r in results.values())
+
+    def test_batch_shares_cache_across_jobs(self, problem):
+        X, y = problem
+        cache = api.EvaluationCache()
+        results = api.run_batch(
+            [("a", X, y, "classification"), ("b", X, y, "classification")],
+            cache=cache,
+            **TINY,
+        )
+        # Identical jobs: the second one is served almost entirely from cache.
+        assert results["b"].n_downstream_calls < results["a"].n_downstream_calls
+
+    def test_batch_mapping_jobs_and_factory(self, problem):
+        X, y = problem
+        seen: list[str] = []
+
+        def factory(name):
+            from repro.core import HistoryCollector
+
+            seen.append(name)
+            return [HistoryCollector()]
+
+        results = api.run_batch(
+            [{"name": "m1", "X": X, "y": y, "task": "classification"}],
+            callbacks_factory=factory,
+            **TINY,
+        )
+        assert seen == ["m1"]
+        assert "m1" in results
+
+    def test_batch_duplicate_names_raise(self, problem):
+        X, y = problem
+        with pytest.raises(ValueError):
+            api.run_batch(
+                [("dup", X, y, "classification"), ("dup", X, y, "classification")],
+                **TINY,
+            )

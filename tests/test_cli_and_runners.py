@@ -33,6 +33,42 @@ class TestParser:
         args = build_parser().parse_args(["experiments", "--only", "fig11", "table4"])
         assert args.only == ["fig11", "table4"]
 
+    def test_transform_schedule_flags_are_explicit(self):
+        """The schedule knobs the CLI used to override silently are now
+        visible flags with the same values as defaults."""
+        args = build_parser().parse_args(["transform", "pima_indian"])
+        assert args.cold_start_episodes is None  # -> max(1, episodes // 4)
+        assert args.retrain_every == 2
+        assert args.component_epochs == 4
+        assert args.rf_estimators == 8
+        custom = build_parser().parse_args(
+            [
+                "transform", "pima_indian",
+                "--cold-start-episodes", "3",
+                "--retrain-every", "5",
+                "--component-epochs", "9",
+                "--rf-estimators", "12",
+            ]
+        )
+        assert custom.cold_start_episodes == 3
+        assert custom.retrain_every == 5
+        assert custom.component_epochs == 9
+        assert custom.rf_estimators == 12
+
+    def test_transform_session_flags(self):
+        args = build_parser().parse_args(
+            ["transform", "pima_indian", "--checkpoint", "c.ckpt",
+             "--time-budget", "30", "--resume", "r.ckpt"]
+        )
+        assert args.checkpoint == "c.ckpt"
+        assert args.time_budget == 30.0
+        assert args.resume == "r.ckpt"
+
+    def test_resume_command_args(self):
+        args = build_parser().parse_args(["resume", "r.ckpt", "--time-budget", "5"])
+        assert args.checkpoint_file == "r.ckpt"
+        assert args.time_budget == 5.0
+
 
 class TestCommands:
     def test_datasets_lists_all(self, capsys):
@@ -65,6 +101,42 @@ class TestCommands:
         # The saved plan is valid JSON and re-loadable.
         plan = TransformationPlan.from_json(plan_path.read_text())
         assert plan.n_input_columns == 8
+
+    def test_transform_checkpoint_and_resume_command(self, capsys, tmp_path):
+        ckpt = tmp_path / "session.ckpt"
+        code = main(
+            [
+                "transform", "pima_indian",
+                "--scale", "0.08",
+                "--episodes", "2",
+                "--steps", "2",
+                "--checkpoint", str(ckpt),
+            ]
+        )
+        assert code == 0
+        assert ckpt.exists()
+        first = capsys.readouterr().out
+        # The finished checkpoint resumes cleanly and reports the same score.
+        code = main(["resume", str(ckpt)])
+        assert code == 0
+        second = capsys.readouterr().out
+        score_line = [ln for ln in first.splitlines() if ln.startswith("score")][0]
+        assert score_line in second
+
+    def test_transform_resume_flag(self, capsys, tmp_path):
+        ckpt = tmp_path / "session.ckpt"
+        main(
+            ["transform", "pima_indian", "--scale", "0.08", "--episodes", "2",
+             "--steps", "2", "--checkpoint", str(ckpt)]
+        )
+        capsys.readouterr()
+        code = main(["transform", "--resume", str(ckpt)])
+        assert code == 0
+        assert "score" in capsys.readouterr().out
+
+    def test_transform_requires_dataset_or_resume(self, capsys):
+        assert main(["transform"]) == 2
+        assert "dataset name is required" in capsys.readouterr().err
 
     def test_experiments_command(self, capsys, tmp_path):
         code = main(
