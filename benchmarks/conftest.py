@@ -18,6 +18,14 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 REPORT_DIR = Path(__file__).resolve().parent / "reports"
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "serial: timing-ratio benchmark; must not run concurrently with "
+        "other CPU-heavy work (see fig10)",
+    )
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--profile",

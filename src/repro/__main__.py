@@ -102,6 +102,8 @@ def _cmd_transform(args: argparse.Namespace) -> int:
             component_epochs=args.component_epochs,
             cv_splits=args.cv,
             rf_estimators=args.rf_estimators,
+            oracle_engine=args.oracle_engine,
+            cv_jobs=args.cv_jobs,
             seed=args.seed,
             verbose=args.verbose,
         )
@@ -214,6 +216,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="trees in the downstream random forest (default: %(default)s)",
     )
     p_tr.add_argument("--cv", type=int, default=3)
+    p_tr.add_argument(
+        "--oracle-engine",
+        choices=["naive", "presort"],
+        default="presort",
+        help="split engine of the downstream oracle's random forest; both "
+        "produce bit-identical scores, presort is faster (default: %(default)s)",
+    )
+    p_tr.add_argument(
+        "--cv-jobs",
+        type=int,
+        default=1,
+        help="worker processes for fold-parallel cross-validation "
+        "(1 = serial, -1 = all cores; default: %(default)s)",
+    )
     p_tr.add_argument("--seed", type=int, default=0)
     p_tr.add_argument(
         "--resume",

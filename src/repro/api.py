@@ -14,7 +14,11 @@
 
 Everything here is sugar over :class:`repro.core.session.SearchSession`;
 use the session directly for stepping, checkpoint/resume and custom
-callback wiring.
+callback wiring. Any :class:`~repro.core.config.FastFTConfig` field can be
+overridden by keyword — including the oracle knobs
+(``api.search(X, y, oracle_engine="naive", cv_jobs=-1)``), which select
+the downstream forest's split engine (presort and naive are bit-identical;
+presort is faster) and fold-parallel cross-validation.
 
 The :class:`EvaluationCache` attacks the *evaluation* bucket of the
 paper's Table II time breakdown: downstream cross-validation dominates
@@ -192,6 +196,10 @@ class CachedEvaluator:
         score = self.evaluator(X, y)
         self.cache.put(key, score)
         return score
+
+    def evaluate(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Alias of :meth:`__call__`, mirroring ``DownstreamEvaluator``."""
+        return self(X, y)
 
 
 def session(

@@ -77,6 +77,11 @@ class FastFTConfig:
     cv_splits: int = 5
     rf_estimators: int = 10
     rf_max_depth: int | None = 8
+    # Split-engine for the oracle's random forest: "presort" (vectorized,
+    # bit-identical to the reference) or "naive" (the reference itself).
+    oracle_engine: str = "presort"
+    # Worker processes for fold-parallel CV (1 = serial, -1 = all cores).
+    cv_jobs: int = 1
 
     # -- ablation toggles (Fig 6) --
     use_performance_predictor: bool = True  # False → FastFT−PP
@@ -123,6 +128,10 @@ class FastFTConfig:
             )
         if self.seq_model not in ("lstm", "rnn", "transformer"):
             raise ValueError("seq_model must be lstm, rnn or transformer")
+        if self.oracle_engine not in ("naive", "presort"):
+            raise ValueError("oracle_engine must be 'naive' or 'presort'")
+        if self.cv_jobs < 1 and self.cv_jobs != -1:
+            raise ValueError("cv_jobs must be >= 1 or -1 (all cores)")
 
     def resolved_max_features(self, n_original: int) -> int:
         if self.max_features is not None:

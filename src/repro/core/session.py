@@ -64,7 +64,13 @@ CHECKPOINT_VERSION = 1
 
 def make_default_evaluator(task: str, config: FastFTConfig) -> DownstreamEvaluator:
     """The paper-default downstream oracle a session builds when none is
-    supplied — the single source of truth shared with :mod:`repro.api`."""
+    supplied — the single source of truth shared with :mod:`repro.api`.
+
+    ``config.oracle_engine`` selects the forest's split engine (the
+    presorted engine is bit-identical to the naive reference, so scores
+    and search trajectories do not depend on the choice) and
+    ``config.cv_jobs`` turns on fold-parallel cross-validation.
+    """
     return DownstreamEvaluator(
         task,
         model=default_model_for_task(
@@ -72,9 +78,12 @@ def make_default_evaluator(task: str, config: FastFTConfig) -> DownstreamEvaluat
             n_estimators=config.rf_estimators,
             max_depth=config.rf_max_depth,
             seed=config.seed,
+            split_engine=config.oracle_engine,
         ),
         n_splits=config.cv_splits,
         seed=config.seed,
+        engine=config.oracle_engine,
+        cv_jobs=config.cv_jobs,
     )
 
 

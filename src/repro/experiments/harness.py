@@ -51,6 +51,8 @@ def make_fastft_config(
         mi_max_rows=profile.mi_max_rows,
         cv_splits=profile.cv_splits,
         rf_estimators=profile.rf_estimators,
+        oracle_engine=profile.oracle_engine,
+        cv_jobs=profile.cv_jobs,
         seed=seed,
     )
     base.update(overrides)

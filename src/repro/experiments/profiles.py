@@ -24,6 +24,8 @@ class RunProfile:
     # downstream oracle
     cv_splits: int = 3
     rf_estimators: int = 6
+    oracle_engine: str = "presort"
+    cv_jobs: int = 1
     # FastFT schedule
     episodes: int = 6
     steps_per_episode: int = 5

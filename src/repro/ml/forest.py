@@ -11,12 +11,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin, check_array, check_X_y
+from repro.ml.split_engine import SplitEngine, resolve_engine
 from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
 
 __all__ = ["RandomForestClassifier", "RandomForestRegressor"]
 
 
 class _BaseForest(BaseEstimator):
+    # Backstop for forests pickled before the split-engine layer existed.
+    split_engine: "str | SplitEngine" = "naive"
+
     def __init__(
         self,
         n_estimators: int = 10,
@@ -26,6 +30,7 @@ class _BaseForest(BaseEstimator):
         max_features: int | float | str | None = "sqrt",
         bootstrap: bool = True,
         seed: int | None = 0,
+        split_engine: "str | SplitEngine" = "naive",
     ) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -36,10 +41,11 @@ class _BaseForest(BaseEstimator):
         self.max_features = max_features
         self.bootstrap = bootstrap
         self.seed = seed
+        self.split_engine = split_engine
         self.estimators_: list = []
         self.feature_importances_: np.ndarray | None = None
 
-    def _make_tree(self, seed: int):
+    def _make_tree(self, seed: int, engine: SplitEngine):
         raise NotImplementedError
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "_BaseForest":
@@ -49,15 +55,26 @@ class _BaseForest(BaseEstimator):
         n = X.shape[0]
         self.estimators_ = []
         importances = np.zeros(X.shape[1], dtype=float)
-        for _ in range(self.n_estimators):
-            tree = self._make_tree(int(rng.integers(0, 2**31 - 1)))
-            if self.bootstrap:
-                idx = rng.integers(0, n, size=n)
-                tree.fit(X[idx], y[idx])
-            else:
-                tree.fit(X, y)
-            self.estimators_.append(tree)
-            importances += tree.feature_importances_
+        # One engine instance serves every tree: each fit presorts its own
+        # bootstrap sample at most once, scratch buffers are allocated once
+        # per forest, and the forest-level hooks let the presort engine
+        # derive per-sample orders from a single presort of X.
+        engine = resolve_engine(self.split_engine)
+        engine.begin_forest(X, y)
+        try:
+            for _ in range(self.n_estimators):
+                tree = self._make_tree(int(rng.integers(0, 2**31 - 1)), engine)
+                if self.bootstrap:
+                    idx = rng.integers(0, n, size=n)
+                    engine.set_bootstrap(idx)
+                    tree.fit(X[idx], y[idx])
+                else:
+                    engine.set_bootstrap(None)
+                    tree.fit(X, y)
+                self.estimators_.append(tree)
+                importances += tree.feature_importances_
+        finally:
+            engine.end_forest()
         total = importances.sum()
         self.feature_importances_ = (
             importances / total if total > 0 else np.zeros_like(importances)
@@ -74,13 +91,14 @@ class RandomForestClassifier(_BaseForest, ClassifierMixin):
     def _pre_fit(self, y: np.ndarray) -> None:
         self.classes_ = np.unique(y)
 
-    def _make_tree(self, seed: int) -> DecisionTreeClassifier:
+    def _make_tree(self, seed: int, engine: SplitEngine) -> DecisionTreeClassifier:
         return DecisionTreeClassifier(
             max_depth=self.max_depth,
             min_samples_split=self.min_samples_split,
             min_samples_leaf=self.min_samples_leaf,
             max_features=self.max_features,
             seed=seed,
+            split_engine=engine,
         )
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
@@ -104,13 +122,14 @@ class RandomForestClassifier(_BaseForest, ClassifierMixin):
 class RandomForestRegressor(_BaseForest, RegressorMixin):
     """Mean-aggregated forest of variance-reduction CART trees."""
 
-    def _make_tree(self, seed: int) -> DecisionTreeRegressor:
+    def _make_tree(self, seed: int, engine: SplitEngine) -> DecisionTreeRegressor:
         return DecisionTreeRegressor(
             max_depth=self.max_depth,
             min_samples_split=self.min_samples_split,
             min_samples_leaf=self.min_samples_leaf,
             max_features=self.max_features,
             seed=seed,
+            split_engine=engine,
         )
 
     def predict(self, X: np.ndarray) -> np.ndarray:

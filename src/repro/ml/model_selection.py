@@ -2,11 +2,19 @@
 
 The paper evaluates every generated feature set with five-fold cross
 validation (train:test = 4:1); :func:`cross_val_score` is the exact routine
-the downstream oracle calls.
+the downstream oracle calls. Folds are independent fits, so
+``cross_val_score`` can optionally farm them out to a process pool
+(``n_jobs``) with deterministic result order — fold *i*'s score is the same
+value serial or parallel, because each fold's work is a pure function of
+the estimator template and the (seeded) splitter.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
+import time
+import warnings
 from typing import Callable, Iterator
 
 import numpy as np
@@ -116,6 +124,34 @@ def train_test_split(
     return out
 
 
+def _fit_score_fold(payload: tuple) -> tuple[float, float]:
+    """Fit and score one fold; returns (score, fit+score seconds).
+
+    Module-level so a process pool can pickle it; also the single code
+    path the serial loop uses, which is what makes fold-parallel results
+    deterministic and identical to serial ones.
+    """
+    estimator, X, y, train, test, scorer, use_proba = payload
+    start = time.perf_counter()
+    model = clone(estimator)
+    model.fit(X[train], y[train])
+    if use_proba:
+        proba = model.predict_proba(X[test])
+        pred = proba[:, -1] if proba.ndim == 2 else proba
+    else:
+        pred = model.predict(X[test])
+    score = scorer(y[test], pred)
+    return float(score), time.perf_counter() - start
+
+
+def _resolve_n_jobs(n_jobs: int, n_folds: int) -> int:
+    if n_jobs == -1:
+        return min(os.cpu_count() or 1, n_folds)
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1 or -1, got {n_jobs}")
+    return min(n_jobs, n_folds)
+
+
 def cross_val_score(
     estimator: BaseEstimator,
     X: np.ndarray,
@@ -125,7 +161,9 @@ def cross_val_score(
     seed: int | None = 0,
     stratified: bool = False,
     use_proba: bool = False,
-) -> np.ndarray:
+    n_jobs: int = 1,
+    return_fold_times: bool = False,
+) -> "np.ndarray | tuple[np.ndarray, list[float]]":
     """Fit a clone per fold and score on the held-out fold.
 
     Parameters
@@ -135,22 +173,53 @@ def cross_val_score(
     use_proba:
         Score with the positive-class probability instead of hard labels
         (needed for AUC on detection tasks).
+    n_jobs:
+        Number of worker processes for fold-parallel execution (``-1`` =
+        all cores). Scores come back in fold order and are identical to a
+        serial run; estimators/scorers that cannot be pickled fall back
+        to the serial path with a warning.
+    return_fold_times:
+        Also return each fold's fit+score wall seconds (measured inside
+        the worker), so callers can account oracle cost as summed compute
+        rather than pool wall time.
     """
     X = np.asarray(X, dtype=float)
     y = np.asarray(y)
-    splitter = (
+    folds = list(
         StratifiedKFold(n_splits, seed=seed).split(y)
         if stratified
         else KFold(n_splits, seed=seed).split(len(y))
     )
-    scores = []
-    for train, test in splitter:
-        model = clone(estimator)
-        model.fit(X[train], y[train])
-        if use_proba:
-            proba = model.predict_proba(X[test])
-            pred = proba[:, -1] if proba.ndim == 2 else proba
+    payloads = [
+        (estimator, X, y, train, test, scorer, use_proba) for train, test in folds
+    ]
+
+    n_workers = _resolve_n_jobs(n_jobs, len(folds))
+    results: list[tuple[float, float]] | None = None
+    if n_workers > 1:
+        try:
+            pickle.dumps((estimator, scorer))
+        except Exception:
+            warnings.warn(
+                "cross_val_score(n_jobs>1) needs a picklable estimator and "
+                "scorer; falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         else:
-            pred = model.predict(X[test])
-        scores.append(scorer(y[test], pred))
-    return np.asarray(scores, dtype=float)
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # platforms without fork
+                ctx = multiprocessing.get_context("spawn")
+            with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+                results = list(pool.map(_fit_score_fold, payloads))
+    if results is None:
+        results = [_fit_score_fold(p) for p in payloads]
+
+    scores = np.asarray([score for score, _ in results], dtype=float)
+    if return_fold_times:
+        return scores, [seconds for _, seconds in results]
+    return scores

@@ -3,7 +3,10 @@
 These trees are the workhorse of the downstream oracle: the paper's lineage
 (GRFG, FastFT) evaluates generated feature sets with a random forest, which
 is built on top of this module. The split search is an exact, sort-based scan
-(the classic CART algorithm), vectorized per node.
+(the classic CART algorithm) delegated to a pluggable
+:class:`~repro.ml.split_engine.SplitEngine` — ``"naive"`` re-sorts each
+feature per node (the reference), ``"presort"`` sorts once per fit and scans
+all candidate features vectorized; both produce bit-identical trees.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin, check_array, check_X_y
+from repro.ml.split_engine import SplitEngine, resolve_engine
 
 __all__ = ["DecisionTreeClassifier", "DecisionTreeRegressor"]
 
@@ -61,6 +65,13 @@ class _Tree:
 class _BaseDecisionTree(BaseEstimator):
     """Shared CART builder; subclasses define impurity and leaf values."""
 
+    # Split criterion the engine applies; set by subclasses.
+    _criterion = "gini"
+    # Class-level backstop so estimators pickled before the engine layer
+    # existed (old session checkpoints) unpickle straight onto the
+    # reference behavior they were fitted with.
+    split_engine: "str | SplitEngine" = "naive"
+
     def __init__(
         self,
         max_depth: int | None = None,
@@ -68,12 +79,14 @@ class _BaseDecisionTree(BaseEstimator):
         min_samples_leaf: int = 1,
         max_features: int | float | str | None = None,
         seed: int | None = None,
+        split_engine: "str | SplitEngine" = "naive",
     ) -> None:
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.seed = seed
+        self.split_engine = split_engine
         self.tree_: _Tree | None = None
         self.n_features_: int | None = None
         self.feature_importances_: np.ndarray | None = None
@@ -86,11 +99,9 @@ class _BaseDecisionTree(BaseEstimator):
     def _node_impurity(self, y: np.ndarray) -> float:
         raise NotImplementedError
 
-    def _best_split_of_feature(
-        self, x_sorted: np.ndarray, y_sorted: np.ndarray
-    ) -> tuple[float, float]:
-        """Return (impurity_decrease_per_sample, threshold) or (-inf, nan)."""
-        raise NotImplementedError
+    def _node_stats(self, y: np.ndarray) -> tuple[np.ndarray, float]:
+        """(leaf value, impurity) — overridable to share intermediate work."""
+        return self._leaf_value(y), self._node_impurity(y)
 
     # -- fitting ------------------------------------------------------------
 
@@ -114,7 +125,20 @@ class _BaseDecisionTree(BaseEstimator):
         self._importance = np.zeros(self.n_features_, dtype=float)
         self._n_total = X.shape[0]
         self.tree_ = _Tree()
-        self._build(X, y, np.arange(X.shape[0]), depth=0)
+        engine = resolve_engine(self.split_engine)
+        engine.begin_fit(
+            X,
+            y,
+            criterion=self._criterion,
+            n_classes=getattr(self, "n_classes_", 0),
+            min_samples_leaf=self.min_samples_leaf,
+        )
+        self._engine = engine
+        try:
+            self._build(X, y, np.arange(X.shape[0]), depth=0)
+        finally:
+            engine.end_fit()
+            del self._engine
         self.tree_.finalize()
         total = self._importance.sum()
         self.feature_importances_ = (
@@ -127,14 +151,15 @@ class _BaseDecisionTree(BaseEstimator):
 
     def _build(self, X: np.ndarray, y: np.ndarray, idx: np.ndarray, depth: int) -> int:
         node_y = y[idx]
-        node_id = self.tree_.add_node(self._leaf_value(node_y))
+        leaf_value, impurity = self._node_stats(node_y)
+        node_id = self.tree_.add_node(leaf_value)
 
         n = len(idx)
         if (
             n < self.min_samples_split
             or n < 2 * self.min_samples_leaf
             or (self.max_depth is not None and depth >= self.max_depth)
-            or self._node_impurity(node_y) <= 1e-12
+            or impurity <= 1e-12
         ):
             return node_id
 
@@ -144,13 +169,9 @@ class _BaseDecisionTree(BaseEstimator):
         else:
             candidates = self._rng.choice(self.n_features_, size=k, replace=False)
 
-        best_gain, best_feature, best_threshold = 0.0, -1, 0.0
-        for f in candidates:
-            x = X[idx, f]
-            order = np.argsort(x, kind="stable")
-            gain, threshold = self._best_split_of_feature(x[order], node_y[order])
-            if gain > best_gain + 1e-15:
-                best_gain, best_feature, best_threshold = gain, int(f), float(threshold)
+        best_gain, best_feature, best_threshold = self._engine.best_split(
+            idx, candidates, node_y
+        )
 
         if best_feature < 0:
             return node_id
@@ -169,19 +190,11 @@ class _BaseDecisionTree(BaseEstimator):
         self.tree_.right[node_id] = right_id
         return node_id
 
-    def _split_positions(self, x_sorted: np.ndarray) -> np.ndarray:
-        """Valid split indices i (split between i and i+1), honoring leaf size."""
-        n = len(x_sorted)
-        lo, hi = self.min_samples_leaf, n - self.min_samples_leaf
-        if hi <= lo:
-            return np.empty(0, dtype=np.int64)
-        positions = np.arange(lo, hi)
-        distinct = x_sorted[positions - 1] < x_sorted[positions]
-        return positions[distinct]
-
 
 class DecisionTreeClassifier(_BaseDecisionTree, ClassifierMixin):
     """Gini-impurity CART classifier with probability leaves."""
+
+    _criterion = "gini"
 
     def _encode_target(self, y: np.ndarray) -> np.ndarray:
         self.classes_, codes = np.unique(y, return_inverse=True)
@@ -196,31 +209,12 @@ class DecisionTreeClassifier(_BaseDecisionTree, ClassifierMixin):
         p = np.bincount(y, minlength=self.n_classes_) / len(y)
         return float(1.0 - np.sum(p * p))
 
-    def _best_split_of_feature(
-        self, x_sorted: np.ndarray, y_sorted: np.ndarray
-    ) -> tuple[float, float]:
-        positions = self._split_positions(x_sorted)
-        if len(positions) == 0:
-            return -np.inf, np.nan
-        n = len(y_sorted)
-        onehot = np.zeros((n, self.n_classes_), dtype=float)
-        onehot[np.arange(n), y_sorted] = 1.0
-        cum = np.cumsum(onehot, axis=0)
-
-        left_counts = cum[positions - 1]
-        total = cum[-1]
-        right_counts = total - left_counts
-        n_left = positions.astype(float)
-        n_right = n - n_left
-
-        gini_left = 1.0 - np.sum((left_counts / n_left[:, None]) ** 2, axis=1)
-        gini_right = 1.0 - np.sum((right_counts / n_right[:, None]) ** 2, axis=1)
-        parent = 1.0 - np.sum((total / n) ** 2)
-        gain = parent - (n_left * gini_left + n_right * gini_right) / n
-
-        best = int(np.argmax(gain))
-        i = positions[best]
-        return float(gain[best]), float(0.5 * (x_sorted[i - 1] + x_sorted[i]))
+    def _node_stats(self, y: np.ndarray) -> tuple[np.ndarray, float]:
+        # One bincount serves both: counts/sum equals the leaf probability
+        # vector, and the same proportions feed the Gini impurity.
+        counts = np.bincount(y, minlength=self.n_classes_).astype(float)
+        p = counts / counts.sum()
+        return p, float(1.0 - np.sum(p * p))
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         if self.tree_ is None:
@@ -235,37 +229,13 @@ class DecisionTreeClassifier(_BaseDecisionTree, ClassifierMixin):
 class DecisionTreeRegressor(_BaseDecisionTree, RegressorMixin):
     """Variance-reduction CART regressor with mean leaves."""
 
+    _criterion = "variance"
+
     def _leaf_value(self, y: np.ndarray) -> np.ndarray:
         return np.array([np.mean(y)])
 
     def _node_impurity(self, y: np.ndarray) -> float:
         return float(np.var(y))
-
-    def _best_split_of_feature(
-        self, x_sorted: np.ndarray, y_sorted: np.ndarray
-    ) -> tuple[float, float]:
-        positions = self._split_positions(x_sorted)
-        if len(positions) == 0:
-            return -np.inf, np.nan
-        n = len(y_sorted)
-        cum = np.cumsum(y_sorted)
-        cum2 = np.cumsum(y_sorted**2)
-
-        n_left = positions.astype(float)
-        n_right = n - n_left
-        sum_left = cum[positions - 1]
-        sum_right = cum[-1] - sum_left
-        sq_left = cum2[positions - 1]
-        sq_right = cum2[-1] - sq_left
-
-        var_left = sq_left / n_left - (sum_left / n_left) ** 2
-        var_right = sq_right / n_right - (sum_right / n_right) ** 2
-        parent = cum2[-1] / n - (cum[-1] / n) ** 2
-        gain = parent - (n_left * var_left + n_right * var_right) / n
-
-        best = int(np.argmax(gain))
-        i = positions[best]
-        return float(gain[best]), float(0.5 * (x_sorted[i - 1] + x_sorted[i]))
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         if self.tree_ is None:

@@ -44,7 +44,7 @@ class TestDeduplication:
     def test_duplicate_allowed_after_prune(self, space):
         """A pruned derivation may be regenerated (it is no longer live)."""
         fs, _ = space
-        fid = fs.apply_unary("log", [0])[0]
+        fs.apply_unary("log", [0])
         fs.prune([0, 1, 2])
         assert len(fs.apply_unary("log", [0])) == 1
 

@@ -11,7 +11,6 @@ import numpy as np
 import pytest
 
 from repro.experiments import (
-    DEFAULT,
     FULL,
     SMOKE,
     make_baseline,

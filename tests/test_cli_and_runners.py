@@ -2,9 +2,6 @@
 
 from __future__ import annotations
 
-import json
-
-import numpy as np
 import pytest
 
 from repro.__main__ import build_parser, main

@@ -33,7 +33,6 @@ def naive_auc(y: np.ndarray, scores: np.ndarray) -> float:
 
 def naive_mi(a: np.ndarray, b: np.ndarray) -> float:
     """Double loop over the joint support."""
-    n = len(a)
     mi = 0.0
     for va in np.unique(a):
         for vb in np.unique(b):
