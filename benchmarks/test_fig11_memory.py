@@ -7,9 +7,12 @@ and a sub-megabyte predictor buys a measurable evaluation-time reduction.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments import fig11
 
 
+@pytest.mark.serial
 def test_fig11_memory(benchmark, profile, save_report):
     data = benchmark.pedantic(
         lambda: fig11.run(profile, seed=0),

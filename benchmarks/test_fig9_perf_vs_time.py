@@ -15,10 +15,13 @@ from __future__ import annotations
 
 import dataclasses
 
+import pytest
+
 from repro.experiments import fig9
 from repro.experiments.harness import load_profile_dataset, run_fastft_on_dataset
 
 
+@pytest.mark.serial
 def test_fig9_perf_vs_time(benchmark, profile, save_report):
     data = benchmark.pedantic(
         lambda: fig9.run(
@@ -41,6 +44,7 @@ def test_fig9_perf_vs_time(benchmark, profile, save_report):
     assert points["caafe"][0] > points["erg"][0]
 
 
+@pytest.mark.serial
 def test_fig9_evaluation_time_mechanism(benchmark, profile, save_report):
     """The mechanism behind Fig 9's gap: the predictor slashes the
     evaluation bucket at matching quality."""

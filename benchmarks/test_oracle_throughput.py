@@ -70,10 +70,7 @@ def test_oracle_throughput(profile, save_report):
     n_splits = profile.cv_splits if profile.name != "smoke" else 3
     X, y = _representative_matrix()
 
-    # Like fig10, this is a wall-time ratio: one retry on a fresh pair of
-    # timings before declaring failure, because a background process
-    # landing on one engine's rounds skews the ratio.
-    for attempt in range(2):
+    def measure_and_report() -> float:
         naive_t, naive_score = _time_engine("naive", X, y, n_estimators, n_splits)
         presort_t, presort_score = _time_engine("presort", X, y, n_estimators, n_splits)
         speedup = naive_t / presort_t
@@ -88,11 +85,16 @@ def test_oracle_throughput(profile, save_report):
             f"speedup: {speedup:.2f}x  (scores identical: {naive_score == presort_score})",
         ]
         save_report("oracle_throughput", "\n".join(lines))
-
         # Bit-identity is the hard guarantee: same oracle scores either way.
         assert presort_score == naive_score
-        # The speedup floor is set for a noisy shared-CPU runner; the
-        # report above records the actual measured ratio for tracking.
-        if speedup >= 1.4 or attempt == 1:
-            assert speedup >= 1.4, f"presort engine too slow: {speedup:.2f}x vs naive"
-            break
+        return speedup
+
+    # Like fig10, this is a wall-time ratio: the report is saved before the
+    # floor is asserted, and one retry on a fresh pair of timings guards
+    # against a background process landing on one engine's rounds. The
+    # floor is set for a noisy shared-CPU runner; the report records the
+    # actual measured ratio for tracking.
+    speedup = measure_and_report()
+    if speedup < 1.4:
+        speedup = measure_and_report()
+    assert speedup >= 1.4, f"presort engine too slow: {speedup:.2f}x vs naive"

@@ -6,9 +6,12 @@ shrinks substantially once the Performance Predictor takes over.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments import table2
 
 
+@pytest.mark.serial
 def test_table2_time_breakdown(benchmark, sized_profile, save_report):
     data = benchmark.pedantic(
         lambda: table2.run(

@@ -89,7 +89,11 @@ class NFS(FeatureTransformBaseline):
         encoder = RNNEncoder(
             vocab_size=d + 1, embed_dim=16, hidden_dim=self.hidden, num_layers=1, seed=self.seed
         )
-        head = Linear(self.hidden, self.pipeline_length * d * (_NOOP + 1))
+        head = Linear(
+            self.hidden,
+            self.pipeline_length * d * (_NOOP + 1),
+            rng=np.random.default_rng(self.seed),
+        )
         optimizer = Adam(list(encoder.parameters()) + list(head.parameters()), lr=self.lr)
 
         best_score = base_score

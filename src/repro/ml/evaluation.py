@@ -19,7 +19,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.ml.base import BaseEstimator, clone
+from repro.ml.base import BaseEstimator
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
 from repro.ml.metrics import f1_score, one_minus_rae, roc_auc_score
 from repro.ml.model_selection import cross_val_score
@@ -129,8 +129,11 @@ class DownstreamEvaluator:
     def _cross_val(self, model: BaseEstimator, X: np.ndarray, y: np.ndarray):
         use_proba = self.task == "detection"
         stratified = self.task in ("classification", "detection")
+        # The template goes in as-is: cross_val_score clones per fold and
+        # never fits it, and a stable template object lets the fold-parallel
+        # pickle probe memoize per evaluator instead of per call.
         return cross_val_score(
-            clone(model),
+            model,
             X,
             y,
             scorer=self.metric,

@@ -15,6 +15,7 @@ import os
 import pickle
 import time
 import warnings
+import weakref
 from typing import Callable, Iterator
 
 import numpy as np
@@ -124,14 +125,55 @@ def train_test_split(
     return out
 
 
+# The dataset for the cross_val_score call in flight. Fold payloads carry
+# only index arrays: serial folds and fork-started workers read X/y from
+# here (workers inherit the parent's memory), instead of re-pickling the
+# full matrix once per fold per oracle call.
+_shared_data: tuple[np.ndarray, np.ndarray] | None = None
+
+# Pickle-probe results memoized per estimator template (scorer identity
+# checked), so a search making thousands of oracle calls probes — and, on
+# an unpicklable payload, warns — once per evaluator, not once per call.
+_probe_cache: "weakref.WeakKeyDictionary[BaseEstimator, tuple]" = weakref.WeakKeyDictionary()
+
+
+def _parallel_payload_ok(estimator: BaseEstimator, scorer: Callable) -> bool:
+    try:
+        ref, ok = _probe_cache[estimator]
+        if ref() is scorer:
+            return ok
+    except (KeyError, TypeError):
+        pass
+    try:
+        pickle.dumps((estimator, scorer))
+        ok = True
+    except Exception:
+        ok = False
+        warnings.warn(
+            "cross_val_score(n_jobs>1) needs a picklable estimator and "
+            "scorer; falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    try:
+        _probe_cache[estimator] = (weakref.ref(scorer), ok)
+    except TypeError:
+        pass  # non-weakrefable scorer: probe again next call
+    return ok
+
+
 def _fit_score_fold(payload: tuple) -> tuple[float, float]:
     """Fit and score one fold; returns (score, fit+score seconds).
 
     Module-level so a process pool can pickle it; also the single code
     path the serial loop uses, which is what makes fold-parallel results
-    deterministic and identical to serial ones.
+    deterministic and identical to serial ones. ``data`` is ``None``
+    whenever the arrays are reachable via ``_shared_data`` (serial calls,
+    fork workers); spawn-started workers re-import this module and need
+    X/y shipped in the payload.
     """
-    estimator, X, y, train, test, scorer, use_proba = payload
+    estimator, data, train, test, scorer, use_proba = payload
+    X, y = _shared_data if data is None else data
     start = time.perf_counter()
     model = clone(estimator)
     model.fit(X[train], y[train])
@@ -183,6 +225,7 @@ def cross_val_score(
         the worker), so callers can account oracle cost as summed compute
         rather than pool wall time.
     """
+    global _shared_data
     X = np.asarray(X, dtype=float)
     y = np.asarray(y)
     folds = list(
@@ -190,34 +233,34 @@ def cross_val_score(
         if stratified
         else KFold(n_splits, seed=seed).split(len(y))
     )
-    payloads = [
-        (estimator, X, y, train, test, scorer, use_proba) for train, test in folds
-    ]
 
     n_workers = _resolve_n_jobs(n_jobs, len(folds))
     results: list[tuple[float, float]] | None = None
-    if n_workers > 1:
-        try:
-            pickle.dumps((estimator, scorer))
-        except Exception:
-            warnings.warn(
-                "cross_val_score(n_jobs>1) needs a picklable estimator and "
-                "scorer; falling back to serial execution",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        else:
+    _shared_data = (X, y)
+    try:
+        if n_workers > 1 and _parallel_payload_ok(estimator, scorer):
             import multiprocessing
             from concurrent.futures import ProcessPoolExecutor
 
             try:
                 ctx = multiprocessing.get_context("fork")
+                data = None  # workers fork below, inheriting _shared_data
             except ValueError:  # platforms without fork
                 ctx = multiprocessing.get_context("spawn")
+                data = (X, y)
+            payloads = [
+                (estimator, data, train, test, scorer, use_proba)
+                for train, test in folds
+            ]
             with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
                 results = list(pool.map(_fit_score_fold, payloads))
-    if results is None:
-        results = [_fit_score_fold(p) for p in payloads]
+        if results is None:
+            results = [
+                _fit_score_fold((estimator, None, train, test, scorer, use_proba))
+                for train, test in folds
+            ]
+    finally:
+        _shared_data = None
 
     scores = np.asarray([score for score, _ in results], dtype=float)
     if return_fold_times:

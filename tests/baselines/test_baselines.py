@@ -173,6 +173,22 @@ class TestSearchBaselines:
         )
         assert result.best_score >= result.base_score
 
+    def test_nfs_deterministic_across_fits(self, problem):
+        # Two fresh fits must match bit-for-bit: encoder weights, head
+        # init, and action sampling all derive from `seed`. (The head was
+        # once unseeded, which silently drifted Table I's NFS column on
+        # every regeneration.)
+        X, y, names = problem
+        first, second = (
+            NFS(n_epochs=2, cv_splits=3, rf_estimators=4, seed=0).fit(
+                X, y, feature_names=names
+            )
+            for _ in range(2)
+        )
+        assert first.best_score == second.best_score
+        probe = np.random.default_rng(11).normal(size=(20, 6))
+        np.testing.assert_array_equal(first.transform(probe), second.transform(probe))
+
     def test_ttg_graph_recorded(self, problem):
         X, y, _ = problem
         result = TTG(node_budget=5, cv_splits=3, rf_estimators=4, seed=0).fit(X, y)
