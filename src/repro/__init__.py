@@ -11,6 +11,8 @@ including every substrate the paper depends on:
   ``run_batch``, cached downstream evaluation
 - :mod:`repro.core` — the FastFT framework: :class:`~repro.core.SearchSession`
   (resumable step-wise search), callbacks, the blocking ``FastFT`` wrapper
+- :mod:`repro.serve` — the serving layer: compiled transformation pipelines,
+  a versioned artifact registry, and a micro-batching inference server
 - :mod:`repro.ml`   — downstream tabular models and metrics (sklearn stand-in)
 - :mod:`repro.nn`   — reverse-mode autodiff, LSTM/RNN/Transformer (torch stand-in)
 - :mod:`repro.rl`   — actor-critic and DQN-family agents, prioritized replay

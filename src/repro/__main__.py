@@ -4,6 +4,8 @@ Commands
 --------
 ``transform``    run FastFT on a registry dataset and print the discovered plan
 ``resume``       continue a search from a ``--checkpoint`` file
+``export``       search a dataset and package the result as a pipeline artifact
+``serve``        serve a pipeline artifact over HTTP (micro-batched inference)
 ``experiments``  regenerate the paper's tables/figures (delegates to run_all)
 ``datasets``     list the 23 registered Table I datasets
 
@@ -59,14 +61,39 @@ def _report_result(result, dataset=None, save_plan: str | None = None) -> None:
     for expr in result.expressions():
         print(f"  {expr}")
     if save_plan:
+        # indent=2 + trailing newline so saved plans diff cleanly.
         with open(save_plan, "w") as fh:
-            fh.write(result.plan.to_json())
+            fh.write(result.plan.to_json(indent=2) + "\n")
         print(f"plan saved to {save_plan}")
+
+
+def _search_config(args: argparse.Namespace):
+    """Build a FastFTConfig from the shared search flags."""
+    from repro.core import FastFTConfig
+
+    cold_start = (
+        args.cold_start_episodes
+        if args.cold_start_episodes is not None
+        else max(1, args.episodes // 4)
+    )
+    return FastFTConfig(
+        episodes=args.episodes,
+        steps_per_episode=args.steps,
+        cold_start_episodes=cold_start,
+        retrain_every_episodes=args.retrain_every,
+        component_epochs=args.component_epochs,
+        cv_splits=args.cv,
+        rf_estimators=args.rf_estimators,
+        oracle_engine=args.oracle_engine,
+        cv_jobs=args.cv_jobs,
+        seed=args.seed,
+        verbose=args.verbose,
+    )
 
 
 def _cmd_transform(args: argparse.Namespace) -> int:
     from repro import api
-    from repro.core import FastFTConfig, SearchSession
+    from repro.core import SearchSession
     from repro.data import load_dataset
 
     if args.resume:
@@ -86,27 +113,10 @@ def _cmd_transform(args: argparse.Namespace) -> int:
     if args.dataset is None:
         print("error: a dataset name is required unless --resume is given", file=sys.stderr)
         return 2
-    cold_start = (
-        args.cold_start_episodes
-        if args.cold_start_episodes is not None
-        else max(1, args.episodes // 4)
-    )
     try:
         dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
         callbacks = _session_callbacks(args)
-        config = FastFTConfig(
-            episodes=args.episodes,
-            steps_per_episode=args.steps,
-            cold_start_episodes=cold_start,
-            retrain_every_episodes=args.retrain_every,
-            component_epochs=args.component_epochs,
-            cv_splits=args.cv,
-            rf_estimators=args.rf_estimators,
-            oracle_engine=args.oracle_engine,
-            cv_jobs=args.cv_jobs,
-            seed=args.seed,
-            verbose=args.verbose,
-        )
+        config = _search_config(args)
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -146,6 +156,92 @@ def _cmd_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro import api
+    from repro.data import load_dataset
+
+    if (args.out is None) == (args.registry is None):
+        print("error: pass exactly one of --out or --registry", file=sys.stderr)
+        return 2
+    if args.registry is not None and args.name is None:
+        print("error: --registry requires --name", file=sys.stderr)
+        return 2
+    try:
+        dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        config = _search_config(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = api.search(
+        dataset.X,
+        dataset.y,
+        dataset.task,
+        config=config,
+        feature_names=dataset.feature_names,
+    )
+    artifact, version = api.export(
+        result,
+        dataset.X,
+        dataset.y,
+        path=args.out,
+        registry=args.registry,
+        name=args.name,
+        tag=args.tag,
+        dataset=dataset.name,
+    )
+    print(f"score     : {result.base_score:.4f} -> {result.best_score:.4f}")
+    print(f"features  : {artifact.plan.n_features} "
+          f"(from {artifact.plan.n_input_columns} input columns)")
+    print(f"hash      : {artifact.manifest['content_hash']}")
+    if version is not None:
+        tagged = f" (tag {args.tag!r})" if args.tag else ""
+        print(f"published : {args.name} {version}{tagged} -> {args.registry}")
+    else:
+        print(f"saved     : {args.out}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro import api
+
+    if (args.artifact is None) == (args.registry is None):
+        print("error: pass exactly one of --artifact or --registry", file=sys.stderr)
+        return 2
+    if args.registry is not None and args.name is None:
+        print("error: --registry requires --name", file=sys.stderr)
+        return 2
+    try:
+        artifact = api.load_pipeline(
+            args.artifact,
+            registry=args.registry,
+            name=args.name,
+            version=args.version,
+            tag=args.tag,
+        )
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    server = api.serve(
+        artifact,
+        host=args.host,
+        port=args.port,
+        max_wait_ms=args.max_wait_ms,
+        max_batch_rows=args.max_batch_rows,
+        max_requests=args.max_requests,
+    )
+    summary = artifact.summary()
+    print(f"serving   : {summary['task']} pipeline, {summary['n_features']} features "
+          f"({'with' if summary['has_model'] else 'no'} model)")
+    print(f"listening : {server.url}  (POST /transform, POST /predict, GET /healthz)")
+    if args.url_file:
+        # Written once the socket is bound — lets scripts and tests find an
+        # ephemeral --port 0 server without parsing stdout.
+        with open(args.url_file, "w") as fh:
+            fh.write(server.url + "\n")
+    server.serve_forever()
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.run_all import EXPERIMENTS, run_experiments
 
@@ -178,6 +274,54 @@ def _add_session_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--save-plan", default=None, help="write the plan JSON here")
 
 
+def _add_search_flags(parser: argparse.ArgumentParser) -> None:
+    """Search-schedule flags shared by ``transform`` and ``export``."""
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--episodes", type=int, default=8)
+    parser.add_argument("--steps", type=int, default=5)
+    parser.add_argument(
+        "--cold-start-episodes",
+        type=int,
+        default=None,
+        help="episodes of real-feedback cold start (default: episodes // 4, min 1)",
+    )
+    parser.add_argument(
+        "--retrain-every",
+        type=int,
+        default=2,
+        help="fine-tune the φ/ψ components every N episodes (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--component-epochs",
+        type=int,
+        default=4,
+        help="training epochs per component (re)fit (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--rf-estimators",
+        type=int,
+        default=8,
+        help="trees in the downstream random forest (default: %(default)s)",
+    )
+    parser.add_argument("--cv", type=int, default=3)
+    parser.add_argument(
+        "--oracle-engine",
+        choices=["naive", "presort"],
+        default="presort",
+        help="split engine of the downstream oracle's random forest; both "
+        "produce bit-identical scores, presort is faster (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--cv-jobs",
+        type=int,
+        default=1,
+        help="worker processes for fold-parallel cross-validation "
+        "(1 = serial, -1 = all cores; default: %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--verbose", action="store_true")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -188,49 +332,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_tr = sub.add_parser("transform", help="run FastFT on a registry dataset")
     p_tr.add_argument("dataset", nargs="?", default=None, help="registry dataset name (omit with --resume)")
-    p_tr.add_argument("--scale", type=float, default=0.2)
-    p_tr.add_argument("--episodes", type=int, default=8)
-    p_tr.add_argument("--steps", type=int, default=5)
-    p_tr.add_argument(
-        "--cold-start-episodes",
-        type=int,
-        default=None,
-        help="episodes of real-feedback cold start (default: episodes // 4, min 1)",
-    )
-    p_tr.add_argument(
-        "--retrain-every",
-        type=int,
-        default=2,
-        help="fine-tune the φ/ψ components every N episodes (default: %(default)s)",
-    )
-    p_tr.add_argument(
-        "--component-epochs",
-        type=int,
-        default=4,
-        help="training epochs per component (re)fit (default: %(default)s)",
-    )
-    p_tr.add_argument(
-        "--rf-estimators",
-        type=int,
-        default=8,
-        help="trees in the downstream random forest (default: %(default)s)",
-    )
-    p_tr.add_argument("--cv", type=int, default=3)
-    p_tr.add_argument(
-        "--oracle-engine",
-        choices=["naive", "presort"],
-        default="presort",
-        help="split engine of the downstream oracle's random forest; both "
-        "produce bit-identical scores, presort is faster (default: %(default)s)",
-    )
-    p_tr.add_argument(
-        "--cv-jobs",
-        type=int,
-        default=1,
-        help="worker processes for fold-parallel cross-validation "
-        "(1 = serial, -1 = all cores; default: %(default)s)",
-    )
-    p_tr.add_argument("--seed", type=int, default=0)
+    _add_search_flags(p_tr)
     p_tr.add_argument(
         "--resume",
         default=None,
@@ -240,8 +342,44 @@ def build_parser() -> argparse.ArgumentParser:
         "checkpoint carries its own config (see also the `resume` command)",
     )
     _add_session_flags(p_tr)
-    p_tr.add_argument("--verbose", action="store_true")
     p_tr.set_defaults(func=_cmd_transform)
+
+    p_ex = sub.add_parser(
+        "export",
+        help="search a dataset, fit the downstream model, save a servable artifact",
+    )
+    p_ex.add_argument("dataset", help="registry dataset name")
+    _add_search_flags(p_ex)
+    p_ex.add_argument("--out", default=None, metavar="DIR",
+                      help="write the artifact directory here")
+    p_ex.add_argument("--registry", default=None, metavar="ROOT",
+                      help="publish into this artifact registry instead of --out")
+    p_ex.add_argument("--name", default=None,
+                      help="artifact name within the registry")
+    p_ex.add_argument("--tag", default=None,
+                      help="promote the published version to this tag (e.g. prod)")
+    p_ex.set_defaults(func=_cmd_export)
+
+    p_srv = sub.add_parser("serve", help="serve a pipeline artifact over HTTP")
+    p_srv.add_argument("--artifact", default=None, metavar="DIR",
+                       help="artifact directory written by export/--out")
+    p_srv.add_argument("--registry", default=None, metavar="ROOT",
+                       help="load from this artifact registry instead of --artifact")
+    p_srv.add_argument("--name", default=None, help="artifact name within the registry")
+    p_srv.add_argument("--version", default=None, help="registry version (default: latest)")
+    p_srv.add_argument("--tag", default=None, help="resolve the version via this tag")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8000,
+                       help="listen port (0 = ephemeral; default: %(default)s)")
+    p_srv.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="micro-batch coalescing window (default: %(default)s)")
+    p_srv.add_argument("--max-batch-rows", type=int, default=4096,
+                       help="row cap per coalesced batch (default: %(default)s)")
+    p_srv.add_argument("--max-requests", type=int, default=None,
+                       help="shut down after serving this many requests")
+    p_srv.add_argument("--url-file", default=None, metavar="PATH",
+                       help="write the bound server URL here once listening")
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_re = sub.add_parser("resume", help="continue a checkpointed search")
     p_re.add_argument("checkpoint_file", help="checkpoint written by --checkpoint")

@@ -12,6 +12,9 @@
 
     results = api.run_batch(jobs)          # multi-dataset sweep, shared cache
 
+    artifact, v = api.export(result, X, y, registry="reg/", name="churn")
+    server = api.serve(api.load_pipeline(registry="reg/", name="churn"))
+
 Everything here is sugar over :class:`repro.core.session.SearchSession`;
 use the session directly for stepping, checkpoint/resume and custom
 callback wiring. Any :class:`~repro.core.config.FastFTConfig` field can be
@@ -38,11 +41,16 @@ from typing import Any, Iterable, Mapping
 
 import numpy as np
 
+from pathlib import Path
+
 from repro.core.callbacks import Callback, Checkpointer, TimeBudget
 from repro.core.config import FastFTConfig
 from repro.core.result import FastFTResult
 from repro.core.session import SearchSession, make_default_evaluator
 from repro.ml.evaluation import DownstreamEvaluator
+from repro.serve.artifact import PipelineArtifact
+from repro.serve.registry import ArtifactRegistry
+from repro.serve.server import InferenceServer
 
 __all__ = [
     "search",
@@ -52,6 +60,9 @@ __all__ = [
     "EvaluationCache",
     "CachedEvaluator",
     "default_evaluator",
+    "export",
+    "load_pipeline",
+    "serve",
 ]
 
 
@@ -337,3 +348,86 @@ def run_batch(
             **config_overrides,
         )
     return results
+
+
+# -- serving -------------------------------------------------------------------
+
+
+def _resolve_registry(registry: "str | Path | ArtifactRegistry") -> ArtifactRegistry:
+    return registry if isinstance(registry, ArtifactRegistry) else ArtifactRegistry(registry)
+
+
+def export(
+    result: FastFTResult,
+    X,
+    y,
+    *,
+    path: str | Path | None = None,
+    registry: "str | Path | ArtifactRegistry | None" = None,
+    name: str | None = None,
+    tag: str | None = None,
+    model=None,
+    **extra_manifest,
+) -> tuple[PipelineArtifact, str | None]:
+    """Package a finished search as a servable :class:`PipelineArtifact`.
+
+    Fits the downstream model on ``T*(X)`` (see
+    :meth:`FastFTResult.to_artifact`) and optionally persists the bundle:
+    ``path`` saves an artifact directory, ``registry`` + ``name`` publishes
+    a new registry version (``tag`` promotes it, e.g. ``"prod"``). Returns
+    ``(artifact, version)`` — ``version`` is the published registry version
+    string, or ``None`` when not publishing.
+    """
+    if path is not None and registry is not None:
+        raise ValueError("Pass path or registry, not both")
+    artifact = result.to_artifact(X, y, model=model, **extra_manifest)
+    version = None
+    if registry is not None:
+        if name is None:
+            raise ValueError("Publishing to a registry requires a name")
+        version = _resolve_registry(registry).publish(artifact, name, tag=tag)
+    elif path is not None:
+        artifact.save(path)
+    return artifact, version
+
+
+def load_pipeline(
+    path: str | Path | None = None,
+    *,
+    registry: "str | Path | ArtifactRegistry | None" = None,
+    name: str | None = None,
+    version: int | str | None = None,
+    tag: str | None = None,
+) -> PipelineArtifact:
+    """Load a pipeline artifact from a directory or a registry.
+
+    ``load_pipeline("artifact/")`` reads a saved directory;
+    ``load_pipeline(registry="reg/", name="churn", tag="prod")`` resolves
+    through an :class:`ArtifactRegistry` (``version``/``tag`` optional —
+    default latest).
+    """
+    if (path is None) == (registry is None):
+        raise ValueError("Pass exactly one of path or registry")
+    if path is not None:
+        return PipelineArtifact.load(path)
+    if name is None:
+        raise ValueError("Loading from a registry requires a name")
+    return _resolve_registry(registry).get(name, version=version, tag=tag)
+
+
+def serve(
+    artifact: "PipelineArtifact | str | Path",
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    **server_kwargs,
+) -> InferenceServer:
+    """Build an :class:`InferenceServer` for an artifact (or its directory).
+
+    The server is bound but not yet serving: call ``.start()`` for a
+    background thread or ``.serve_forever()`` to block. ``server_kwargs``
+    forward to :class:`InferenceServer` (``max_wait_ms``,
+    ``max_batch_rows``, ``max_requests``).
+    """
+    if not isinstance(artifact, PipelineArtifact):
+        artifact = PipelineArtifact.load(artifact)
+    return InferenceServer(artifact, host=host, port=port, **server_kwargs)

@@ -113,6 +113,19 @@ class FastFTResult:
         """Steps with the highest rewards — the Fig 15 case-study view."""
         return sorted(self.history, key=lambda r: r.reward, reverse=True)[:top_k]
 
+    def to_artifact(self, X: np.ndarray, y: np.ndarray, model=None, **extra_manifest):
+        """Package this result as a servable :class:`PipelineArtifact`.
+
+        Fits ``model`` (default: the search's own downstream oracle
+        template) on the transformed training data and bundles it with the
+        compiled plan and a provenance manifest. See :mod:`repro.serve`.
+        """
+        from repro.serve.artifact import PipelineArtifact  # avoid import cycle
+
+        return PipelineArtifact.from_result(
+            self, X, y, model=model, extra_manifest=extra_manifest or None
+        )
+
     def save(self, path: str) -> None:
         """Persist the full run (plan, history, config, timings) as JSON."""
         payload = {

@@ -84,7 +84,64 @@ class TransformationPlan:
     def n_features(self) -> int:
         return len(self.live_ids)
 
-    def to_json(self) -> str:
+    def validate(self) -> None:
+        """Check the plan graph is executable; raise ``ValueError`` if not.
+
+        Catches the failure modes that would otherwise surface as bare
+        ``KeyError``/``IndexError`` deep inside :meth:`apply`: live ids
+        missing from ``nodes``, dangling ``children`` references, source
+        columns outside ``[0, n_input_columns)``, unknown operations and
+        arity mismatches. Every message names the offending node id.
+        """
+        missing = [fid for fid in self.live_ids if fid not in self.nodes]
+        if missing:
+            raise ValueError(f"live_ids reference unknown features: {missing}")
+        for fid, node in self.nodes.items():
+            if node.op is None:
+                if node.source_col is None or not 0 <= node.source_col < self.n_input_columns:
+                    raise ValueError(
+                        f"node {fid}: source_col {node.source_col} outside the "
+                        f"{self.n_input_columns} input columns"
+                    )
+                continue
+            try:
+                op = get_operation(node.op)
+            except KeyError:
+                raise ValueError(f"node {fid}: unknown operation {node.op!r}") from None
+            if len(node.children) != op.arity:
+                raise ValueError(
+                    f"node {fid}: {node.op} expects {op.arity} operand(s), "
+                    f"got {len(node.children)}"
+                )
+            dangling = [c for c in node.children if c not in self.nodes]
+            if dangling:
+                raise ValueError(f"node {fid}: dangling children ids {dangling}")
+        # Cycle check (iterative DFS, 1 = on the current path, 2 = done):
+        # a cyclic graph would hang compilation and blow the interpreter's
+        # recursion limit instead of failing cleanly here.
+        state: dict[int, int] = {}
+        for root in self.live_ids:
+            if state.get(root) == 2:
+                continue
+            state[root] = 1
+            stack = [(root, iter(self.nodes[root].children))]
+            while stack:
+                fid, children = stack[-1]
+                pushed = False
+                for c in children:
+                    s = state.get(c)
+                    if s == 1:
+                        raise ValueError(f"node {c}: plan graph contains a cycle")
+                    if s != 2:
+                        state[c] = 1
+                        stack.append((c, iter(self.nodes[c].children)))
+                        pushed = True
+                        break
+                if not pushed:
+                    state[fid] = 2
+                    stack.pop()
+
+    def to_json(self, indent: int | None = None) -> str:
         """Serialize the plan (nodes + live set) to a JSON string."""
         payload = {
             "n_input_columns": self.n_input_columns,
@@ -100,11 +157,11 @@ class TransformationPlan:
                 for node in self.nodes.values()
             ],
         }
-        return json.dumps(payload)
+        return json.dumps(payload, indent=indent)
 
     @classmethod
     def from_json(cls, data: str) -> "TransformationPlan":
-        """Rebuild a plan serialized by :meth:`to_json`."""
+        """Rebuild a plan serialized by :meth:`to_json` (validated on load)."""
         payload = json.loads(data)
         nodes = {
             int(raw["fid"]): FeatureNode(
@@ -121,9 +178,7 @@ class TransformationPlan:
             n_input_columns=int(payload["n_input_columns"]),
             feature_names=list(payload["feature_names"]),
         )
-        missing = [fid for fid in plan.live_ids if fid not in nodes]
-        if missing:
-            raise ValueError(f"Serialized plan references unknown features: {missing}")
+        plan.validate()
         return plan
 
 

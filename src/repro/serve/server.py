@@ -1,0 +1,417 @@
+"""Micro-batching inference server for pipeline artifacts.
+
+Three layers, separable on purpose:
+
+- :class:`MicroBatcher` — a single worker thread that coalesces requests
+  arriving within a short window into one vectorized pipeline apply. N
+  concurrent single-row ``/predict`` calls cost one compiled-plan
+  execution and one model predict over an (N, d) matrix instead of N of
+  each — the serving-side analogue of the search-side batching the paper
+  leans on.
+- :class:`PipelineService` — the in-process client: ``transform``,
+  ``predict`` and ``healthz`` against an artifact through the batcher,
+  no sockets involved. Tests (and embedders) use this directly.
+- :class:`InferenceServer` — a stdlib ``ThreadingHTTPServer`` exposing the
+  service as JSON over HTTP: ``POST /transform``, ``POST /predict``,
+  ``GET /healthz``.
+
+Request/response shapes::
+
+    POST /transform {"rows": [[...], ...]}  -> {"features": [[...], ...]}
+    POST /predict   {"rows": [[...], ...]}  -> {"predictions": [...],
+                                                "proba": [[...], ...]?}
+    GET  /healthz                           -> {"status": "ok", ...stats}
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.serve.artifact import PipelineArtifact
+
+__all__ = ["MicroBatcher", "PipelineService", "InferenceServer"]
+
+
+class _Pending:
+    """One enqueued request: rows in, slice of the batched result out."""
+
+    __slots__ = ("kind", "rows", "event", "result", "error")
+
+    def __init__(self, kind: str, rows: np.ndarray) -> None:
+        self.kind = kind
+        self.rows = rows
+        self.event = threading.Event()
+        self.result: dict | None = None
+        self.error: Exception | None = None
+
+
+class MicroBatcher:
+    """Coalesce concurrent requests into one vectorized apply.
+
+    On the first request of a batch the worker waits up to
+    ``max_wait_ms`` for followers, then executes every pending request of
+    each kind in a single pipeline call and fans the row slices back out.
+    ``max_batch_rows`` bounds a batch; overflow rolls into the next one.
+    """
+
+    def __init__(
+        self,
+        artifact: PipelineArtifact,
+        max_wait_ms: float = 2.0,
+        max_batch_rows: int = 4096,
+    ) -> None:
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if max_batch_rows < 1:
+            raise ValueError("max_batch_rows must be >= 1")
+        self.artifact = artifact
+        self.max_wait_ms = max_wait_ms
+        self.max_batch_rows = max_batch_rows
+        self._queue: deque[_Pending] = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._stopped = False
+        self.n_requests = 0
+        self.n_batches = 0
+        self.n_rows = 0
+        self.max_batch_seen = 0
+        self._worker = threading.Thread(target=self._loop, daemon=True)
+        self._worker.start()
+
+    # -- client side -----------------------------------------------------------
+
+    def submit(self, kind: str, rows: np.ndarray) -> dict:
+        """Enqueue one request and block until its batch has run."""
+        pending = _Pending(kind, rows)
+        with self._wake:
+            if self._stopped:
+                raise RuntimeError("MicroBatcher is stopped")
+            self._queue.append(pending)
+            self.n_requests += 1
+            self._wake.notify()
+        pending.event.wait()
+        if pending.error is not None:
+            raise pending.error
+        return pending.result
+
+    def close(self) -> None:
+        with self._wake:
+            self._stopped = True
+            self._wake.notify()
+        self._worker.join(timeout=5.0)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "requests": self.n_requests,
+                "batches": self.n_batches,
+                "rows": self.n_rows,
+                "max_batch_requests": self.max_batch_seen,
+            }
+
+    # -- worker side -----------------------------------------------------------
+
+    def _drain(self) -> list[_Pending]:
+        """Wait for work, linger ``max_wait_ms`` for followers, take a batch."""
+        with self._wake:
+            while not self._queue and not self._stopped:
+                self._wake.wait()
+            if self._queue and self.max_wait_ms > 0 and not self._stopped:
+                # Linger on the condition — each follower's notify re-checks
+                # the row cap, so a full batch departs immediately and an
+                # idle window costs no wakeups.
+                deadline = time.monotonic() + self.max_wait_ms / 1000.0
+                while not self._stopped:
+                    if sum(len(p.rows) for p in self._queue) >= self.max_batch_rows:
+                        break
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._wake.wait(timeout=remaining)
+            batch: list[_Pending] = []
+            rows = 0
+            while self._queue and rows < self.max_batch_rows:
+                batch.append(self._queue.popleft())
+                rows += len(batch[-1].rows)
+            if batch:
+                self.n_batches += 1
+                self.n_rows += rows
+                self.max_batch_seen = max(self.max_batch_seen, len(batch))
+        return batch
+
+    def _execute(self, kind: str, group: list[_Pending]) -> None:
+        """One vectorized pipeline call for every request of ``kind``."""
+        stacked = np.vstack([p.rows for p in group])
+        features = self.artifact.transform(stacked)
+        predictions = proba = None
+        if kind == "predict":
+            model = self.artifact.model
+            if model is None:
+                raise RuntimeError("Artifact carries no downstream model")
+            predictions = model.predict(features)
+            proba = (
+                model.predict_proba(features)
+                if hasattr(model, "predict_proba")
+                else None
+            )
+        offset = 0
+        for p in group:
+            stop = offset + len(p.rows)
+            if kind == "transform":
+                p.result = {"features": features[offset:stop]}
+            else:
+                p.result = {"predictions": predictions[offset:stop]}
+                if proba is not None:
+                    p.result["proba"] = proba[offset:stop]
+            offset = stop
+
+    def _loop(self) -> None:
+        while True:
+            batch = self._drain()
+            if not batch:
+                if self._stopped:
+                    return
+                continue
+            for kind in ("transform", "predict"):
+                group = [p for p in batch if p.kind == kind]
+                if not group:
+                    continue
+                try:
+                    self._execute(kind, group)
+                except Exception as exc:  # surface per-request, keep serving
+                    for p in group:
+                        p.error = exc
+            for p in batch:
+                p.event.set()
+
+
+class PipelineService:
+    """In-process client: artifact + micro-batcher, no sockets.
+
+    This is the object the HTTP handler delegates to, so in-process tests
+    exercise exactly the code the server runs.
+    """
+
+    def __init__(
+        self,
+        artifact: PipelineArtifact,
+        max_wait_ms: float = 2.0,
+        max_batch_rows: int = 4096,
+    ) -> None:
+        self.artifact = artifact
+        self.batcher = MicroBatcher(
+            artifact, max_wait_ms=max_wait_ms, max_batch_rows=max_batch_rows
+        )
+        self._started = time.monotonic()
+
+    def _rows(self, rows) -> np.ndarray:
+        arr = np.asarray(rows, dtype=float)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.ndim != 2 or arr.shape[1] != self.artifact.plan.n_input_columns:
+            raise ValueError(
+                f"rows must be (n, {self.artifact.plan.n_input_columns}); "
+                f"got shape {arr.shape}"
+            )
+        if not np.all(np.isfinite(arr)):
+            # Non-finite inputs would be imputed with *batch* column medians
+            # by the final sanitization pass, making a response depend on
+            # which requests it was coalesced with; rejecting them keeps
+            # micro-batching exact (every op output is already finite).
+            raise ValueError("rows must be finite numbers")
+        return arr
+
+    def transform(self, rows) -> np.ndarray:
+        return self.batcher.submit("transform", self._rows(rows))["features"]
+
+    def predict(self, rows) -> dict:
+        """Returns ``{"predictions": ndarray, "proba": ndarray?}``."""
+        return self.batcher.submit("predict", self._rows(rows))
+
+    def healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "artifact": self.artifact.summary(),
+            "batcher": self.batcher.stats(),
+        }
+
+    def close(self) -> None:
+        self.batcher.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The server instance injects `service` / `on_request` via the class
+    # attributes of a per-server subclass (see InferenceServer).
+    service: PipelineService = None
+    on_request = staticmethod(lambda: None)
+
+    def log_message(self, format, *args):  # quiet by default
+        pass
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:
+        try:
+            if self.path == "/healthz":
+                self._send(200, self.service.healthz())
+            else:
+                self._send(404, {"error": f"unknown path {self.path}"})
+        finally:
+            self.on_request()
+
+    def do_POST(self) -> None:
+        try:
+            if self.path not in ("/transform", "/predict"):
+                self._send(404, {"error": f"unknown path {self.path}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+                payload = json.loads(self.rfile.read(length) or b"{}")
+                rows = payload["rows"]
+            except (ValueError, KeyError, TypeError) as exc:
+                self._send(400, {"error": f"bad request body: {exc}"})
+                return
+            try:
+                if self.path == "/transform":
+                    features = self.service.transform(rows)
+                    self._send(200, {"features": features.tolist()})
+                else:
+                    out = self.service.predict(rows)
+                    body = {"predictions": out["predictions"].tolist()}
+                    if "proba" in out:
+                        body["proba"] = out["proba"].tolist()
+                    self._send(200, body)
+            except (ValueError, RuntimeError) as exc:
+                self._send(400, {"error": str(exc)})
+            except Exception as exc:  # user-supplied model blew up: answer,
+                # don't drop the connection with a bare traceback
+                self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            self.on_request()
+
+
+class InferenceServer:
+    """HTTP front of a :class:`PipelineService` on ``ThreadingHTTPServer``.
+
+    ::
+
+        server = InferenceServer(artifact, port=0)   # 0 = ephemeral port
+        server.start()                               # background thread
+        ... requests against server.url ...
+        server.stop()
+
+    ``max_requests`` (optional) shuts the server down after that many
+    requests have been answered — the hook ``repro serve --max-requests``
+    and the tests use for bounded runs. Also usable as a context manager
+    and blocking via :meth:`serve_forever`.
+    """
+
+    def __init__(
+        self,
+        artifact: PipelineArtifact,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        max_wait_ms: float = 2.0,
+        max_batch_rows: int = 4096,
+        max_requests: int | None = None,
+    ) -> None:
+        self.service = PipelineService(
+            artifact, max_wait_ms=max_wait_ms, max_batch_rows=max_batch_rows
+        )
+        self.max_requests = max_requests
+        self._served = 0
+        self._served_lock = threading.Lock()
+        self._done = threading.Event()
+        self._cleaned = False
+        handler = type(
+            "_BoundHandler",
+            (_Handler,),
+            {"service": self.service, "on_request": staticmethod(self._count_request)},
+        )
+        self._http = ThreadingHTTPServer((host, port), handler)
+        self._thread: threading.Thread | None = None
+
+    def _count_request(self) -> None:
+        with self._served_lock:
+            self._served += 1
+            if self.max_requests is not None and self._served >= self.max_requests:
+                self._done.set()
+                # shutdown() blocks until serve_forever exits; do it off-thread.
+                threading.Thread(target=self._http.shutdown, daemon=True).start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._http.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    @property
+    def requests_served(self) -> int:
+        with self._served_lock:
+            return self._served
+
+    def _serve_loop(self) -> None:
+        """serve_forever plus cleanup — so a max_requests shutdown closes
+        the listening socket and the batcher even without an explicit
+        stop() call."""
+        try:
+            self._http.serve_forever()
+        finally:
+            self._cleanup()
+
+    def start(self) -> "InferenceServer":
+        """Serve on a background thread; returns self once listening."""
+        if self._thread is not None:
+            raise RuntimeError("Server already started")
+        self._thread = threading.Thread(target=self._serve_loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking serve (until stop(), Ctrl-C, or max_requests)."""
+        try:
+            self._serve_loop()
+        except KeyboardInterrupt:
+            pass
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until a ``max_requests`` shutdown has triggered."""
+        return self._done.wait(timeout)
+
+    def stop(self) -> None:
+        self._http.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._cleanup()
+
+    def _cleanup(self) -> None:
+        # May run from both the serving thread (max_requests) and stop().
+        with self._served_lock:
+            if self._cleaned:
+                return
+            self._cleaned = True
+        self._http.server_close()
+        self.service.close()
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -165,3 +165,145 @@ class TestTransformationPlan:
         fs.apply_binary("divide", fs.apply_unary("square", [0]), [1])
         for expr in fs.snapshot().expressions():
             assert expr.count("(") == expr.count(")")
+
+
+def _plan_payload(**overrides):
+    """A minimal valid serialized plan, overridable per test."""
+    payload = {
+        "n_input_columns": 2,
+        "feature_names": ["a", "b"],
+        "live_ids": [2],
+        "nodes": [
+            {"fid": 0, "op": None, "children": [], "source_col": 0},
+            {"fid": 1, "op": None, "children": [], "source_col": 1},
+            {"fid": 2, "op": "add", "children": [0, 1], "source_col": None},
+        ],
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestPlanValidation:
+    """from_json must reject broken graphs with a ValueError naming the
+    offending node, instead of a bare KeyError/IndexError inside apply."""
+
+    def test_valid_payload_loads(self):
+        import json
+
+        from repro.core.sequence import TransformationPlan
+
+        plan = TransformationPlan.from_json(json.dumps(_plan_payload()))
+        assert plan.apply(np.ones((4, 2))).shape == (4, 1)
+
+    @pytest.mark.parametrize(
+        "overrides, message",
+        [
+            ({"live_ids": [99]}, "unknown features"),
+            (
+                {
+                    "nodes": [
+                        {"fid": 0, "op": None, "children": [], "source_col": 0},
+                        {"fid": 1, "op": None, "children": [], "source_col": 1},
+                        {"fid": 2, "op": "add", "children": [0, 7], "source_col": None},
+                    ]
+                },
+                r"node 2: dangling children ids \[7\]",
+            ),
+            (
+                {
+                    "live_ids": [0],
+                    "nodes": [{"fid": 0, "op": None, "children": [], "source_col": 5}],
+                },
+                "node 0: source_col 5",
+            ),
+            (
+                {
+                    "live_ids": [0],
+                    "nodes": [{"fid": 0, "op": None, "children": [], "source_col": None}],
+                },
+                "node 0: source_col None",
+            ),
+            (
+                {
+                    "live_ids": [1],
+                    "nodes": [
+                        {"fid": 0, "op": None, "children": [], "source_col": 0},
+                        {"fid": 1, "op": "warp", "children": [0], "source_col": None},
+                    ],
+                },
+                "node 1: unknown operation 'warp'",
+            ),
+            (
+                {
+                    "live_ids": [1],
+                    "nodes": [
+                        {"fid": 0, "op": None, "children": [], "source_col": 0},
+                        {"fid": 1, "op": "add", "children": [0], "source_col": None},
+                    ],
+                },
+                "node 1: add expects 2 operand",
+            ),
+            (
+                {
+                    "live_ids": [1],
+                    "nodes": [
+                        {"fid": 1, "op": "tanh", "children": [2], "source_col": None},
+                        {"fid": 2, "op": "tanh", "children": [1], "source_col": None},
+                    ],
+                },
+                "cycle",
+            ),
+            (
+                {
+                    "live_ids": [1],
+                    "nodes": [
+                        {"fid": 1, "op": "square", "children": [1], "source_col": None},
+                    ],
+                },
+                "cycle",
+            ),
+        ],
+        ids=["missing-live", "dangling-child", "col-overflow", "col-none",
+             "unknown-op", "arity", "two-node-cycle", "self-cycle"],
+    )
+    def test_broken_graphs_rejected(self, overrides, message):
+        import json
+
+        from repro.core.sequence import TransformationPlan
+
+        with pytest.raises(ValueError, match=message):
+            TransformationPlan.from_json(json.dumps(_plan_payload(**overrides)))
+
+    def test_validate_on_instance(self, space):
+        fs, _ = space
+        fs.snapshot().validate()  # a snapshot is always valid
+
+
+class TestPlanRoundTripEveryOp:
+    def test_roundtrip_byte_identical_over_all_ops(self, rng):
+        """For a plan exercising every registered operation,
+        from_json(to_json(plan)).apply(X) is byte-identical to
+        plan.apply(X) — the serving layer's persistence contract."""
+        from repro.core.sequence import TransformationPlan
+
+        X = rng.normal(size=(60, 4))
+        fs = FeatureSpace(X)
+        for op in UNARY_OPERATIONS:
+            fs.apply_unary(op.name, [0, 1])
+        for op in BINARY_OPERATIONS:
+            fs.apply_binary(op.name, [0, 1], [2, 3])
+        plan = fs.snapshot()
+        used = {node.op for node in plan.nodes.values() if node.op is not None}
+        assert used == {op.name for op in UNARY_OPERATIONS + BINARY_OPERATIONS}
+        restored = TransformationPlan.from_json(plan.to_json())
+        np.testing.assert_array_equal(restored.apply(X), plan.apply(X), strict=True)
+        # And the indented form round-trips identically too.
+        pretty = TransformationPlan.from_json(plan.to_json(indent=2))
+        np.testing.assert_array_equal(pretty.apply(X), plan.apply(X), strict=True)
+
+    def test_to_json_indent(self, space):
+        fs, _ = space
+        compact = fs.snapshot().to_json()
+        pretty = fs.snapshot().to_json(indent=2)
+        assert "\n" not in compact
+        assert pretty.startswith("{\n  ")

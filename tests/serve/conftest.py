@@ -1,0 +1,42 @@
+"""Shared serve-layer fixtures: one tiny search reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api
+
+TINY = dict(
+    episodes=2,
+    steps_per_episode=2,
+    cold_start_episodes=1,
+    retrain_every_episodes=1,
+    component_epochs=1,
+    trigger_warmup=2,
+    cv_splits=3,
+    rf_estimators=3,
+    max_clusters=3,
+    mi_max_rows=64,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def serve_problem():
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(110, 4))
+    y = (X[:, 0] * X[:, 1] > 0).astype(int)
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def search_result(serve_problem):
+    X, y = serve_problem
+    return api.search(X, y, "classification", **TINY)
+
+
+@pytest.fixture(scope="session")
+def artifact(search_result, serve_problem):
+    X, y = serve_problem
+    return search_result.to_artifact(X, y)

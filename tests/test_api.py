@@ -132,6 +132,46 @@ class TestEvaluationCache:
         assert len(cache) == 2
         assert cache._entries.get("a") is None  # oldest evicted
 
+    def test_eviction_is_fifo_and_survivors_hit(self):
+        cache = api.EvaluationCache(max_entries=2)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        cache.put("c", 3.0)  # evicts "a", keeps "b" and "c"
+        assert cache.get("b") == 2.0
+        assert cache.get("c") == 3.0
+        assert cache.hits == 2 and cache.misses == 0
+
+    def test_rewriting_existing_key_does_not_evict(self):
+        cache = api.EvaluationCache(max_entries=2)
+        cache.put("a", 1.0)
+        cache.put("b", 2.0)
+        cache.put("b", 4.0)  # overwrite, not a new entry
+        assert len(cache) == 2
+        assert cache.get("a") == 1.0 and cache.get("b") == 4.0
+
+    def test_hit_rate_accounts_for_misses_after_eviction(self):
+        cache = api.EvaluationCache(max_entries=1)
+        cache.put("a", 1.0)
+        assert cache.get("a") == 1.0  # hit
+        cache.put("b", 2.0)  # evicts "a"
+        assert cache.get("a") is None  # miss on the evicted key
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_clear_resets_entries_and_counters(self):
+        cache = api.EvaluationCache(max_entries=2)
+        cache.put("a", 1.0)
+        cache.get("a")
+        cache.get("missing")
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.hit_rate == 0.0
+        # The cache keeps working after clear().
+        cache.put("a", 5.0)
+        assert cache.get("a") == 5.0
+
     def test_clear(self, problem):
         X, y = problem
         cache = api.EvaluationCache()

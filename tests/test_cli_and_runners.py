@@ -66,6 +66,28 @@ class TestParser:
         assert args.checkpoint_file == "r.ckpt"
         assert args.time_budget == 5.0
 
+    def test_export_args(self):
+        args = build_parser().parse_args(
+            ["export", "pima_indian", "--episodes", "3", "--registry", "reg",
+             "--name", "pima", "--tag", "prod"]
+        )
+        assert args.dataset == "pima_indian"
+        assert args.episodes == 3
+        assert args.registry == "reg" and args.name == "pima" and args.tag == "prod"
+        assert args.out is None
+
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--artifact", "art", "--port", "0", "--max-requests", "3",
+             "--max-wait-ms", "1.5", "--url-file", "u.txt"]
+        )
+        assert args.artifact == "art"
+        assert args.port == 0
+        assert args.max_requests == 3
+        assert args.max_wait_ms == 1.5
+        assert args.url_file == "u.txt"
+        assert args.registry is None and args.version is None and args.tag is None
+
 
 class TestCommands:
     def test_datasets_lists_all(self, capsys):
@@ -96,8 +118,13 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "score" in out and "plan" in out
         # The saved plan is valid JSON and re-loadable.
-        plan = TransformationPlan.from_json(plan_path.read_text())
+        text = plan_path.read_text()
+        plan = TransformationPlan.from_json(text)
         assert plan.n_input_columns == 8
+        # Saved plans are indent=2 formatted and newline-terminated so
+        # they diff cleanly under version control.
+        assert text.startswith("{\n  ")
+        assert text.endswith("}\n")
 
     def test_transform_checkpoint_and_resume_command(self, capsys, tmp_path):
         ckpt = tmp_path / "session.ckpt"
@@ -134,6 +161,75 @@ class TestCommands:
     def test_transform_requires_dataset_or_resume(self, capsys):
         assert main(["transform"]) == 2
         assert "dataset name is required" in capsys.readouterr().err
+
+    def test_export_then_serve_end_to_end(self, capsys, tmp_path):
+        """CLI acceptance: export into a registry, then serve it over a
+        real socket with a bounded request budget."""
+        import json
+        import threading
+        import time
+        import urllib.request
+
+        registry = str(tmp_path / "reg")
+        code = main(
+            ["export", "pima_indian", "--scale", "0.08", "--episodes", "2",
+             "--steps", "2", "--registry", registry, "--name", "pima",
+             "--tag", "prod"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "published : pima v0001 (tag 'prod')" in out
+
+        url_file = tmp_path / "url.txt"
+        thread = threading.Thread(
+            target=main,
+            args=(
+                ["serve", "--registry", registry, "--name", "pima", "--tag", "prod",
+                 "--port", "0", "--max-requests", "2", "--url-file", str(url_file)],
+            ),
+            daemon=True,
+        )
+        thread.start()
+        for _ in range(200):
+            if url_file.exists():
+                break
+            time.sleep(0.05)
+        url = url_file.read_text().strip()
+        health = json.loads(urllib.request.urlopen(url + "/healthz", timeout=10).read())
+        assert health["status"] == "ok"
+        req = urllib.request.Request(
+            url + "/predict",
+            data=json.dumps({"rows": [[1.0] * 8]}).encode(),
+        )
+        body = json.loads(urllib.request.urlopen(req, timeout=10).read())
+        assert len(body["predictions"]) == 1
+        thread.join(timeout=10)
+        assert not thread.is_alive()  # --max-requests shut the server down
+
+    def test_export_requires_one_destination(self, capsys):
+        assert main(["export", "pima_indian"]) == 2
+        assert "exactly one of --out or --registry" in capsys.readouterr().err
+        assert main(["export", "pima_indian", "--registry", "r"]) == 2
+        assert "requires --name" in capsys.readouterr().err
+
+    def test_serve_requires_one_source(self, capsys):
+        assert main(["serve"]) == 2
+        assert "exactly one of --artifact or --registry" in capsys.readouterr().err
+        assert main(["serve", "--artifact", "/nonexistent/art"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_export_to_directory(self, capsys, tmp_path):
+        out_dir = tmp_path / "artifact"
+        code = main(
+            ["export", "pima_indian", "--scale", "0.08", "--episodes", "2",
+             "--steps", "2", "--out", str(out_dir)]
+        )
+        assert code == 0
+        from repro.serve import PipelineArtifact
+
+        artifact = PipelineArtifact.load(out_dir)
+        assert artifact.manifest["dataset"] == "pima_indian"
+        assert artifact.predict([[1.0] * 8] * 3).shape == (3,)
 
     def test_experiments_command(self, capsys, tmp_path):
         code = main(
