@@ -1,0 +1,114 @@
+"""Sweep-throughput bench — serial vs process-pool multi-seed search.
+
+The paper's reporting protocol repeats every seeded search and averages;
+``repro.parallel`` exists so that protocol stops costing N× wall clock on
+one core. This benchmark runs the same 4-seed sweep serially and through
+``SearchOrchestrator`` workers, verifies the per-seed results are
+*bit-identical* (plan JSON and score reprs — the determinism contract that
+makes the parallel path trustworthy), and records the wall-clock ratio.
+
+Timing notes: like fig10, this is a wall-time ratio and therefore
+contention-sensitive (``@pytest.mark.serial``; see the fig10 caveat in the
+repo notes — never time it while other CPU-heavy work runs). On a 1-core
+runner a process pool cannot beat serial execution, so the speedup
+assertion is skipped there after the identity checks and the report still
+record what was measured; the floor scales with the cores available
+(>= 1.5x needs the 4 workers to actually have ~4 cores).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import api
+
+N_SEEDS = 4
+
+
+def _sweep_problem(n: int = 150, d: int = 5):
+    rng = np.random.default_rng(11)
+    X = rng.normal(size=(n, d))
+    y = (X[:, 0] * X[:, 1] + 0.5 * X[:, 2] > 0).astype(int)
+    return X, y
+
+
+def _sweep_config(profile) -> dict:
+    # The smoke profile bounds CI time; larger profiles lengthen the
+    # per-seed search so the pool's fork/manager overhead amortizes.
+    smoke = profile.name == "smoke"
+    return dict(
+        episodes=3 if smoke else max(4, profile.episodes),
+        steps_per_episode=3 if smoke else max(4, profile.steps_per_episode),
+        cold_start_episodes=1,
+        retrain_every_episodes=1,
+        component_epochs=2,
+        trigger_warmup=2,
+        cv_splits=3 if smoke else profile.cv_splits,
+        rf_estimators=6 if smoke else profile.rf_estimators,
+        max_clusters=3,
+        mi_max_rows=64,
+    )
+
+
+def _digests(sweep: "api.SweepResult") -> dict[int, str]:
+    return {
+        s: sweep[s].plan.to_json() + repr(sweep[s].best_score) + repr(sweep[s].base_score)
+        for s in sweep.seeds
+    }
+
+
+@pytest.mark.serial
+def test_sweep_throughput(profile, save_report):
+    cpu = os.cpu_count() or 1
+    n_workers = min(4, cpu)
+    seeds = list(range(N_SEEDS))
+    X, y = _sweep_problem()
+    cfg = _sweep_config(profile)
+
+    def timed_sweep(n_jobs: int):
+        start = time.perf_counter()
+        sweep = api.sweep(X, y, "classification", seeds=seeds, n_jobs=n_jobs, **cfg)
+        return sweep, time.perf_counter() - start
+
+    def measure_and_report() -> float:
+        serial, serial_t = timed_sweep(1)
+        parallel, parallel_t = timed_sweep(n_workers)
+        speedup = serial_t / parallel_t
+        identical = _digests(serial) == _digests(parallel)
+
+        lines = [
+            "Sweep throughput — api.sweep, serial vs SearchOrchestrator process pool",
+            f"problem: {X.shape[0]} x {X.shape[1]} (binary classification), "
+            f"{len(seeds)} seeds, {n_workers} workers on {cpu} core(s)",
+            f"{'mode':10s} {'seconds':>9s} {'mean':>9s} {'std':>9s}",
+            f"{'serial':10s} {serial_t:9.3f} {serial.score_mean:9.4f} {serial.score_std:9.4f}",
+            f"{'parallel':10s} {parallel_t:9.3f} {parallel.score_mean:9.4f} "
+            f"{parallel.score_std:9.4f}",
+            f"speedup: {speedup:.2f}x  (per-seed results bit-identical: {identical})",
+        ]
+        save_report("sweep_throughput", "\n".join(lines))
+        # Bit-identity is the hard guarantee regardless of core count:
+        # plan JSON and score reprs match seed-for-seed.
+        assert identical
+        return speedup
+
+    speedup = measure_and_report()
+    if cpu < 2:
+        pytest.skip(
+            "parallel sweep speedup needs >= 2 cores (timing ratios are "
+            "meaningless on a 1-core runner; identity checks above ran)"
+        )
+    # The report is saved before the floor is asserted; one retry on fresh
+    # timings guards against background load landing on one arm (the
+    # fig10-style flake mode).
+    floor = 1.5 if cpu >= 4 else 1.05
+    if speedup < floor:
+        speedup = measure_and_report()
+    assert speedup >= floor, (
+        f"parallel sweep too slow: {speedup:.2f}x vs serial with "
+        f"{n_workers} workers on {cpu} cores"
+    )

@@ -2,12 +2,18 @@
 
 Commands
 --------
-``transform``    run FastFT on a registry dataset and print the discovered plan
+``transform``    run FastFT on registry dataset(s) and print the discovered plan
+``sweep``        the paper's multi-seed protocol (``--seeds``/``--n-jobs``)
 ``resume``       continue a search from a ``--checkpoint`` file
 ``export``       search a dataset and package the result as a pipeline artifact
 ``serve``        serve a pipeline artifact over HTTP (micro-batched inference)
 ``experiments``  regenerate the paper's tables/figures (delegates to run_all)
 ``datasets``     list the 23 registered Table I datasets
+
+``transform`` accepts several dataset names: they run as one batch
+(``--n-jobs`` schedules them across worker processes, sharing one oracle
+cache), and ``sweep`` repeats one dataset across ``--seeds`` the same way —
+per-seed results are bit-identical to serial runs.
 
 ``transform`` supports long-running searches: ``--checkpoint PATH`` writes a
 resumable session snapshot every episode, ``--time-budget SECONDS`` stops
@@ -110,11 +116,13 @@ def _cmd_transform(args: argparse.Namespace) -> int:
         _report_result(result, save_plan=args.save_plan)
         return 0
 
-    if args.dataset is None:
+    if not args.dataset:
         print("error: a dataset name is required unless --resume is given", file=sys.stderr)
         return 2
+    if len(args.dataset) > 1:
+        return _transform_batch(args)
     try:
-        dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        dataset = load_dataset(args.dataset[0], scale=args.scale, seed=args.seed)
         callbacks = _session_callbacks(args)
         config = _search_config(args)
     except (KeyError, ValueError) as exc:
@@ -132,6 +140,102 @@ def _cmd_transform(args: argparse.Namespace) -> int:
     if session.stop_requested:
         print(f"stopped early: {session.stop_reason}")
     _report_result(result, dataset=dataset, save_plan=args.save_plan)
+    return 0
+
+
+def _transform_batch(args: argparse.Namespace) -> int:
+    """Several datasets = one batch; ``--n-jobs`` fans it across workers."""
+    from repro import api
+    from repro.data import load_dataset
+
+    if args.checkpoint or args.save_plan:
+        print(
+            "error: --checkpoint/--save-plan apply to a single search; "
+            "drop them when batching several datasets",
+            file=sys.stderr,
+        )
+        return 2
+    duplicates = {name for name in args.dataset if args.dataset.count(name) > 1}
+    if duplicates:
+        print(f"error: duplicate dataset names in batch: {sorted(duplicates)}",
+              file=sys.stderr)
+        return 2
+    try:
+        jobs = [
+            load_dataset(name, scale=args.scale, seed=args.seed)
+            for name in args.dataset
+        ]
+        config = _search_config(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Outside the try: a failure inside the search is a bug deserving its
+    # traceback, not a terse usage error (same surface as single transform).
+    results = api.run_batch(
+        jobs,
+        config=config,
+        n_jobs=args.n_jobs,
+        time_budget=args.time_budget,
+    )
+    width = max(len(name) for name in results)
+    for name, result in results.items():
+        print(
+            f"{name:{width}s} : {result.base_score:.4f} -> {result.best_score:.4f} "
+            f"({result.n_downstream_calls} downstream calls, "
+            f"{result.plan.n_features} features)"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro import api
+    from repro.data import load_dataset
+
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip() != ""]
+    except ValueError:
+        print(f"error: --seeds must be comma-separated integers, got {args.seeds!r}",
+              file=sys.stderr)
+        return 2
+    if not seeds:
+        print("error: --seeds must name at least one seed", file=sys.stderr)
+        return 2
+    if len(set(seeds)) != len(seeds):
+        print(f"error: --seeds must be unique, got {args.seeds!r}", file=sys.stderr)
+        return 2
+    try:
+        dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        config = _search_config(args)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Outside the try: an in-search failure keeps its traceback (the seeds
+    # and flags were already validated above).
+    sweep = api.sweep(
+        dataset.X,
+        dataset.y,
+        dataset.task,
+        seeds=seeds,
+        n_jobs=args.n_jobs,
+        config=config,
+        feature_names=dataset.feature_names,
+        time_budget=args.time_budget,
+    )
+    print(
+        f"dataset   : {dataset.name} "
+        f"({dataset.n_samples}x{dataset.n_features}, {dataset.task})"
+    )
+    print(sweep.summary())
+    best = sweep.best
+    print(f"best      : seed {sweep.best_seed} "
+          f"({best.base_score:.4f} -> {best.best_score:.4f})")
+    print("plan      :")
+    for expr in best.expressions():
+        print(f"  {expr}")
+    if args.save_plan:
+        with open(args.save_plan, "w") as fh:
+            fh.write(best.plan.to_json(indent=2) + "\n")
+        print(f"plan saved to {args.save_plan}")
     return 0
 
 
@@ -330,9 +434,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_data.add_argument("--task", choices=["classification", "regression", "detection"])
     p_data.set_defaults(func=_cmd_datasets)
 
-    p_tr = sub.add_parser("transform", help="run FastFT on a registry dataset")
-    p_tr.add_argument("dataset", nargs="?", default=None, help="registry dataset name (omit with --resume)")
+    p_tr = sub.add_parser("transform", help="run FastFT on registry dataset(s)")
+    p_tr.add_argument(
+        "dataset",
+        nargs="*",
+        default=[],
+        help="registry dataset name(s); several names run as one batch "
+        "(omit with --resume)",
+    )
     _add_search_flags(p_tr)
+    p_tr.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="worker processes when batching several datasets "
+        "(1 = serial, -1 = all cores; default: %(default)s)",
+    )
     p_tr.add_argument(
         "--resume",
         default=None,
@@ -343,6 +460,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_session_flags(p_tr)
     p_tr.set_defaults(func=_cmd_transform)
+
+    p_sw = sub.add_parser(
+        "sweep",
+        help="run the paper's multi-seed protocol on one dataset",
+    )
+    p_sw.add_argument("dataset", help="registry dataset name")
+    _add_search_flags(p_sw)
+    p_sw.add_argument(
+        "--seeds",
+        default="0,1,2",
+        help="comma-separated search seeds, one session per seed "
+        "(default: %(default)s; --seed still controls dataset sampling)",
+    )
+    p_sw.add_argument(
+        "--n-jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (1 = serial, -1 = all cores; "
+        "per-seed results are bit-identical either way; default: %(default)s)",
+    )
+    p_sw.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-seed wall-clock budget, enforced inside each worker",
+    )
+    p_sw.add_argument("--save-plan", default=None,
+                      help="write the best seed's plan JSON here")
+    p_sw.set_defaults(func=_cmd_sweep)
 
     p_ex = sub.add_parser(
         "export",

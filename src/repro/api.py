@@ -10,7 +10,8 @@
     cache = api.EvaluationCache()          # memoize downstream CV scores
     result = api.search(X, y, cache=cache)
 
-    results = api.run_batch(jobs)          # multi-dataset sweep, shared cache
+    results = api.run_batch(jobs, n_jobs=4)     # datasets across a process pool
+    swept = api.sweep(X, y, seeds=[0, 1, 2], n_jobs=3)   # multi-seed protocol
 
     artifact, v = api.export(result, X, y, registry="reg/", name="churn")
     server = api.serve(api.load_pipeline(registry="reg/", name="churn"))
@@ -23,21 +24,26 @@ overridden by keyword — including the oracle knobs
 the downstream forest's split engine (presort and naive are bit-identical;
 presort is faster) and fold-parallel cross-validation.
 
-The :class:`EvaluationCache` attacks the *evaluation* bucket of the
-paper's Table II time breakdown: downstream cross-validation dominates
-search cost, and identical feature matrices recur — across restarted
-sessions, repeated plans within a search, ablation arms sharing a cold
-start, and batch jobs re-validating the same candidates. Scores are
-memoized by a content signature of the evaluated matrix/target plus an
-evaluator fingerprint, so a hit is exact, not approximate.
+The :class:`EvaluationCache` (re-exported from :mod:`repro.ml.cache`)
+attacks the *evaluation* bucket of the paper's Table II time breakdown:
+downstream cross-validation dominates search cost, and identical feature
+matrices recur — across restarted sessions, repeated plans within a
+search, ablation arms sharing a cold start, and batch jobs re-validating
+the same candidates. Scores are memoized by a content signature of the
+evaluated matrix/target plus an evaluator fingerprint, so a hit is exact,
+not approximate.
+
+``sweep`` and ``run_batch(n_jobs=...)`` are sugar over
+:class:`repro.core.parallel.SearchOrchestrator`: seeded sessions fan out
+across a process pool, workers share one
+:class:`~repro.ml.cache.SharedEvaluationCache`, and every per-seed result
+is bit-identical to the same seed run serially (see the determinism
+contract in :mod:`repro.core.parallel`).
 """
 
 from __future__ import annotations
 
-import hashlib
-import pickle
-from dataclasses import replace
-from typing import Any, Iterable, Mapping
+from typing import Any, Callable, Iterable
 
 import numpy as np
 
@@ -45,8 +51,14 @@ from pathlib import Path
 
 from repro.core.callbacks import Callback, Checkpointer, TimeBudget
 from repro.core.config import FastFTConfig
+from repro.core.parallel import (
+    SearchOrchestrator,
+    SweepResult,
+    resolve_config as _resolve_config,
+)
 from repro.core.result import FastFTResult
 from repro.core.session import SearchSession, make_default_evaluator
+from repro.ml.cache import CachedEvaluator, EvaluationCache, SharedEvaluationCache
 from repro.ml.evaluation import DownstreamEvaluator
 from repro.serve.artifact import PipelineArtifact
 from repro.serve.registry import ArtifactRegistry
@@ -56,9 +68,13 @@ __all__ = [
     "search",
     "fit_transform",
     "run_batch",
+    "sweep",
     "session",
     "EvaluationCache",
+    "SharedEvaluationCache",
     "CachedEvaluator",
+    "SweepResult",
+    "SearchOrchestrator",
     "default_evaluator",
     "export",
     "load_pipeline",
@@ -66,151 +82,9 @@ __all__ = [
 ]
 
 
-def _resolve_config(config: FastFTConfig | None, overrides: dict) -> FastFTConfig:
-    if config is None:
-        return FastFTConfig(**overrides)
-    return replace(config, **overrides) if overrides else config
-
-
 def default_evaluator(task: str, config: FastFTConfig) -> DownstreamEvaluator:
     """The oracle a session builds when none is supplied (paper defaults)."""
     return make_default_evaluator(task, config)
-
-
-class EvaluationCache:
-    """Process-local memo of downstream CV scores, keyed by content.
-
-    The key covers the exact feature matrix bytes, the target bytes and a
-    fingerprint of the evaluator (task, folds, seed, model template), so
-    two differently-configured oracles never share entries. Use
-    :meth:`wrap` to attach the cache to an evaluator::
-
-        cache = EvaluationCache()
-        result = api.search(X, y, cache=cache)
-        cache.hits, cache.misses
-
-    The cache is a plain picklable object: a session checkpointed with a
-    cache-wrapped evaluator carries its entries into the resumed run.
-    """
-
-    def __init__(self, max_entries: int = 100_000) -> None:
-        if max_entries < 1:
-            raise ValueError("max_entries must be >= 1")
-        self.max_entries = max_entries
-        self._entries: dict[str, float] = {}
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
-    @staticmethod
-    def _digest_array(arr: np.ndarray) -> bytes:
-        arr = np.ascontiguousarray(arr)
-        h = hashlib.sha1()
-        h.update(str(arr.dtype).encode())
-        h.update(str(arr.shape).encode())
-        h.update(arr.tobytes())
-        return h.digest()
-
-    def signature(self, X: np.ndarray, y: np.ndarray, fingerprint: bytes = b"") -> str:
-        h = hashlib.sha1()
-        h.update(fingerprint)
-        h.update(self._digest_array(np.asarray(X)))
-        h.update(self._digest_array(np.asarray(y)))
-        return h.hexdigest()
-
-    def get(self, key: str) -> float | None:
-        score = self._entries.get(key)
-        if score is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return score
-
-    def put(self, key: str, score: float) -> None:
-        if len(self._entries) >= self.max_entries and key not in self._entries:
-            # Drop the oldest entry (dicts preserve insertion order).
-            self._entries.pop(next(iter(self._entries)))
-        self._entries[key] = float(score)
-
-    def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-
-    def wrap(self, evaluator: DownstreamEvaluator) -> "CachedEvaluator":
-        return CachedEvaluator(evaluator, self)
-
-
-class CachedEvaluator:
-    """Drop-in :class:`DownstreamEvaluator` front that consults a cache.
-
-    ``n_calls``/``total_time`` mirror the wrapped evaluator, so they count
-    only *actual* CV runs — exactly what
-    :meth:`SearchSession._evaluate_matrix` needs to report honest
-    ``n_downstream_calls`` figures.
-    """
-
-    def __init__(self, evaluator: DownstreamEvaluator, cache: EvaluationCache) -> None:
-        self.evaluator = evaluator
-        self.cache = cache
-        self._fingerprint = self._evaluator_fingerprint(evaluator)
-
-    @staticmethod
-    def _evaluator_fingerprint(evaluator: DownstreamEvaluator) -> bytes:
-        # Metrics and models are keyed by their pickled bytes. Two distinct
-        # closures share a __qualname__, so anything unpicklable falls back
-        # to its object identity: such evaluators never share cache entries
-        # (correct, just less sharing) instead of silently colliding.
-        def blob(obj) -> bytes:
-            try:
-                return pickle.dumps(obj)
-            except Exception:
-                return f"{obj!r}@{id(obj)}".encode()
-
-        h = hashlib.sha1()
-        h.update(getattr(evaluator, "task", "?").encode())
-        h.update(str(getattr(evaluator, "n_splits", "?")).encode())
-        h.update(str(getattr(evaluator, "seed", "?")).encode())
-        h.update(blob(getattr(evaluator, "metric", None)))
-        h.update(blob(getattr(evaluator, "model", None)))
-        return h.digest()
-
-    # -- DownstreamEvaluator interface parity ---------------------------------
-
-    @property
-    def task(self) -> str:
-        return self.evaluator.task
-
-    @property
-    def n_calls(self) -> int:
-        return self.evaluator.n_calls
-
-    @property
-    def total_time(self) -> float:
-        return self.evaluator.total_time
-
-    def reset_counters(self) -> None:
-        self.evaluator.reset_counters()
-
-    def __call__(self, X: np.ndarray, y: np.ndarray) -> float:
-        key = self.cache.signature(X, y, self._fingerprint)
-        cached = self.cache.get(key)
-        if cached is not None:
-            return cached
-        score = self.evaluator(X, y)
-        self.cache.put(key, score)
-        return score
-
-    def evaluate(self, X: np.ndarray, y: np.ndarray) -> float:
-        """Alias of :meth:`__call__`, mirroring ``DownstreamEvaluator``."""
-        return self(X, y)
 
 
 def session(
@@ -290,35 +164,14 @@ def fit_transform(
     return search(X, y, task, **kwargs).transform(np.asarray(X, dtype=float))
 
 
-def _job_fields(job) -> tuple[str, np.ndarray, np.ndarray, str, list[str] | None]:
-    """Accept Dataset-like objects, mappings, or (name, X, y, task) tuples."""
-    if isinstance(job, Mapping):
-        return (
-            job.get("name", "job"),
-            job["X"],
-            job["y"],
-            job.get("task", "classification"),
-            job.get("feature_names"),
-        )
-    if hasattr(job, "X") and hasattr(job, "y"):
-        return (
-            getattr(job, "name", "job"),
-            job.X,
-            job.y,
-            getattr(job, "task", "classification"),
-            list(getattr(job, "feature_names", []) or []) or None,
-        )
-    name, X, y, task = job
-    return name, X, y, task, None
-
-
 def run_batch(
     jobs: Iterable,
     *,
     config: FastFTConfig | None = None,
-    callbacks_factory=None,
-    cache: EvaluationCache | None = None,
+    callbacks_factory: Callable[[str], list[Callback]] | None = None,
+    cache: "EvaluationCache | SharedEvaluationCache | None" = None,
     time_budget: float | None = None,
+    n_jobs: int = 1,
     **config_overrides: Any,
 ) -> dict[str, FastFTResult]:
     """Run FastFT over several datasets, sharing one evaluation cache.
@@ -328,26 +181,64 @@ def run_batch(
     ``(name, X, y, task)`` tuples. ``callbacks_factory(name) -> list``
     builds per-job observers; ``time_budget`` applies per job. Returns
     ``{name: FastFTResult}`` in input order.
+
+    ``n_jobs`` schedules whole jobs across a process pool (``-1`` = all
+    cores). Results stay in input order and each job's result is
+    bit-identical to a serial run; duplicate job names are rejected
+    *before* any work launches, on both paths. Under parallelism the
+    workers share one :class:`SharedEvaluationCache` (seeded from
+    ``cache`` and merged back into it on completion), and
+    ``callbacks_factory`` observers receive relayed
+    :class:`~repro.core.parallel.SessionView` events instead of the live
+    session.
     """
-    cache = cache if cache is not None else EvaluationCache()
-    results: dict[str, FastFTResult] = {}
-    for job in jobs:
-        name, X, y, task, feature_names = _job_fields(job)
-        if name in results:
-            raise ValueError(f"Duplicate job name {name!r} in batch")
-        callbacks = list(callbacks_factory(name)) if callbacks_factory else []
-        results[name] = search(
-            X,
-            y,
-            task,
-            config=config,
-            feature_names=feature_names,
-            callbacks=callbacks,
-            cache=cache,
-            time_budget=time_budget,
-            **config_overrides,
-        )
-    return results
+    orchestrator = SearchOrchestrator(
+        n_jobs,
+        cache=cache,
+        callbacks_factory=callbacks_factory,
+        time_budget=time_budget,
+    )
+    return orchestrator.run_batch(jobs, config=config, **config_overrides)
+
+
+def sweep(
+    X: np.ndarray,
+    y: np.ndarray,
+    task: str = "classification",
+    *,
+    seeds: Iterable[int] = (0, 1, 2),
+    n_jobs: int = 1,
+    config: FastFTConfig | None = None,
+    feature_names: list[str] | None = None,
+    callbacks_factory: Callable[[str], list[Callback]] | None = None,
+    cache: "EvaluationCache | SharedEvaluationCache | None" = None,
+    time_budget: float | None = None,
+    **config_overrides: Any,
+) -> SweepResult:
+    """Run the paper's multi-seed protocol: one seeded search per seed.
+
+    Returns a :class:`~repro.core.parallel.SweepResult` — per-seed
+    :class:`FastFTResult`\\ s, ``score_mean``/``score_std`` for
+    Table-I-style rows, and ``best`` selected by score with a
+    deterministic seed-order tie-break. ``n_jobs`` fans seeds out across
+    worker processes; every per-seed result is bit-identical to the same
+    seed run serially (see :mod:`repro.core.parallel`).
+    """
+    orchestrator = SearchOrchestrator(
+        n_jobs,
+        cache=cache,
+        callbacks_factory=callbacks_factory,
+        time_budget=time_budget,
+    )
+    return orchestrator.sweep(
+        X,
+        y,
+        task,
+        seeds=seeds,
+        config=config,
+        feature_names=feature_names,
+        **config_overrides,
+    )
 
 
 # -- serving -------------------------------------------------------------------

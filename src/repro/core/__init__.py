@@ -43,6 +43,7 @@ from repro.core.clustering import cluster_features, pairwise_cluster_distance
 from repro.core.config import FastFTConfig
 from repro.core.engine import FastFT
 from repro.core.novelty import NoveltyEstimator, novelty_distance
+from repro.core.parallel import SearchOrchestrator, SessionView, SweepResult
 from repro.core.operations import (
     BINARY_OPERATIONS,
     OPERATION_NAMES,
@@ -65,6 +66,9 @@ __all__ = [
     "FastFTConfig",
     "FastFTResult",
     "SearchSession",
+    "SearchOrchestrator",
+    "SweepResult",
+    "SessionView",
     "StepRecord",
     "TimeBreakdown",
     "Callback",

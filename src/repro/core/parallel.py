@@ -1,0 +1,633 @@
+"""Parallel search orchestration: multi-seed sweeps and process-pool batches.
+
+FastFT's standard reporting protocol (Table I, and the GRFG/CAAFE lineage it
+compares against) repeats every seeded search several times and reports
+mean ± std — which, run serially, costs N× wall clock on one core. The
+:class:`SearchOrchestrator` fans seeded :class:`~repro.core.session.SearchSession`
+runs out across a ``ProcessPoolExecutor`` instead:
+
+- :meth:`SearchOrchestrator.sweep` — one session per seed over one dataset,
+  returning a :class:`SweepResult` (per-seed results, deterministic
+  best-by-score selection, mean/std for Table-I-style rows);
+- :meth:`SearchOrchestrator.run_batch` — whole jobs (datasets) scheduled
+  across workers, results in input order.
+
+Determinism contract
+--------------------
+Each worker result is **bit-identical to the same seed run serially**: the
+worker executes exactly the serial code path (same config, same seeded RNG
+streams, same oracle), and numpy arithmetic does not depend on the process
+it runs in. The pool prefers the ``fork`` start method (workers inherit the
+job arrays; nothing is re-pickled per job) and falls back to ``spawn`` on
+platforms without ``fork`` (arrays ship inside the payload — same math,
+same results, more copying). Payloads that cannot be pickled at all demote
+the run to the serial path with a ``RuntimeWarning`` — the same discipline
+as ``cross_val_score(n_jobs=...)``.
+
+Workers share one oracle cache (:class:`repro.ml.cache.SharedEvaluationCache`,
+a manager-backed dict using the same content-signature keys as the local
+:class:`~repro.ml.cache.EvaluationCache`): scores are exact, so sharing can
+only reduce how many real CV runs a sweep pays for, never change its
+trajectory. ``n_downstream_calls`` consequently reports *actual* CV runs,
+which may be fewer than a cache-less serial run — every other field of the
+result is bit-identical.
+
+Observability crosses the process boundary over a queue: pass
+``callbacks_factory`` and each worker relays its lifecycle events
+(:meth:`on_step`, :meth:`on_episode_end`, ...) to parent-side callbacks —
+a :class:`~repro.core.callbacks.HistoryCollector` or
+:class:`~repro.core.callbacks.VerboseLogger` works unchanged, receiving a
+lightweight :class:`SessionView` in place of the live session.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue as queue_mod
+import threading
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.callbacks import Callback, CallbackList, TimeBudget
+from repro.core.config import FastFTConfig
+from repro.core.result import FastFTResult
+from repro.core.session import SearchSession, make_default_evaluator
+from repro.ml.cache import EvaluationCache, SharedEvaluationCache
+
+__all__ = [
+    "SearchOrchestrator",
+    "SweepResult",
+    "SessionView",
+    "job_fields",
+    "resolve_config",
+]
+
+
+def resolve_config(config: FastFTConfig | None, overrides: dict) -> FastFTConfig:
+    """Materialize a config from an optional base plus keyword overrides."""
+    if config is None:
+        return FastFTConfig(**overrides)
+    return replace(config, **overrides) if overrides else config
+
+
+def job_fields(job) -> tuple[str, np.ndarray, np.ndarray, str, list[str] | None]:
+    """Accept Dataset-like objects, mappings, or (name, X, y, task) tuples."""
+    if isinstance(job, Mapping):
+        return (
+            job.get("name", "job"),
+            job["X"],
+            job["y"],
+            job.get("task", "classification"),
+            job.get("feature_names"),
+        )
+    if hasattr(job, "X") and hasattr(job, "y"):
+        return (
+            getattr(job, "name", "job"),
+            job.X,
+            job.y,
+            getattr(job, "task", "classification"),
+            list(getattr(job, "feature_names", []) or []) or None,
+        )
+    name, X, y, task = job
+    return name, X, y, task, None
+
+
+# -- cross-process observability ------------------------------------------------
+
+
+class SessionView:
+    """Picklable snapshot of the session attributes observers read.
+
+    Parent-side callbacks attached through ``callbacks_factory`` receive one
+    of these instead of the live (worker-resident) session. It carries the
+    fields the built-in observers use (``best_score``,
+    ``n_downstream_calls``, ``n_features``, counters); control methods are
+    stubs — a remote worker cannot be stopped from the parent, so put
+    control callbacks (``TimeBudget``) on the worker side via
+    ``time_budget`` instead.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        task: str,
+        episode: int,
+        global_step: int,
+        total_steps: int,
+        n_features: int,
+        n_downstream_calls: int,
+        base_score: float,
+        best_score: float,
+    ) -> None:
+        self.label = label
+        self.task = task
+        self.episode = episode
+        self.global_step = global_step
+        self.total_steps = total_steps
+        self.n_features = n_features
+        self.n_downstream_calls = n_downstream_calls
+        self.base_score = base_score
+        self.best_score = best_score
+
+    def request_stop(self, reason: str = "") -> None:
+        warnings.warn(
+            "request_stop() on a SessionView is a no-op: parent-side "
+            "callbacks observe a worker process and cannot stop it. Use "
+            "time_budget= (or a worker-side callback) for control.",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+
+class _EventRelay(Callback):
+    """Worker-side callback: serializes lifecycle events onto a queue.
+
+    ``on_finish`` is deliberately not relayed — the parent already receives
+    the full result through the pool and fires ``on_finish`` itself once
+    per job, in submission order, after all events have drained.
+    """
+
+    def __init__(self, events, label: str) -> None:
+        self._events = events
+        self._label = label
+
+    def _view(self, session: SearchSession) -> SessionView:
+        return SessionView(
+            label=self._label,
+            task=session.task,
+            episode=session.episode,
+            global_step=session.global_step,
+            total_steps=session.total_steps,
+            n_features=session.n_features,
+            n_downstream_calls=session.n_downstream_calls,
+            base_score=session.base_score,
+            best_score=session.best_score,
+        )
+
+    def _emit(self, event: str, session: SearchSession, arg=None) -> None:
+        self._events.put((self._label, event, self._view(session), arg))
+
+    def on_search_start(self, session) -> None:
+        self._emit("search_start", session)
+
+    def on_episode_start(self, session, episode) -> None:
+        self._emit("episode_start", session, episode)
+
+    def on_step(self, session, record) -> None:
+        self._emit("step", session, record)
+
+    def on_real_evaluation(self, session, record) -> None:
+        self._emit("real_evaluation", session, record)
+
+    def on_retrain(self, session, episode, stage) -> None:
+        self._emit("retrain", session, (episode, stage))
+
+    def on_episode_end(self, session, episode) -> None:
+        self._emit("episode_end", session, episode)
+
+
+class _EventPump(threading.Thread):
+    """Parent-side drain loop: replays queued worker events onto callbacks."""
+
+    def __init__(self, events, sinks: dict[str, CallbackList]) -> None:
+        super().__init__(name="fastft-event-pump", daemon=True)
+        self._events = events
+        self._sinks = sinks
+        # NB: not `_stop` — threading.Thread owns a private method by that name.
+        self._stop_flag = threading.Event()
+        self.errors: list[Exception] = []
+        self.last_view: dict[str, SessionView] = {}
+
+    def _dispatch(self, label: str, event: str, view: SessionView, arg) -> None:
+        self.last_view[label] = view
+        sink = self._sinks.get(label)
+        if sink is None:
+            return
+        if event == "search_start":
+            sink.on_search_start(view)
+        elif event == "episode_start":
+            sink.on_episode_start(view, arg)
+        elif event == "step":
+            sink.on_step(view, arg)
+        elif event == "real_evaluation":
+            sink.on_real_evaluation(view, arg)
+        elif event == "retrain":
+            sink.on_retrain(view, arg[0], arg[1])
+        elif event == "episode_end":
+            sink.on_episode_end(view, arg)
+
+    def run(self) -> None:
+        while True:
+            try:
+                item = self._events.get(timeout=0.05)
+            except queue_mod.Empty:
+                if self._stop_flag.is_set():
+                    return
+                continue
+            except (EOFError, OSError) as exc:  # manager went away mid-drain
+                self.errors.append(exc)
+                return
+            try:
+                self._dispatch(*item)
+            except Exception as exc:  # surface after join, keep draining
+                self.errors.append(exc)
+
+    def finish(self) -> None:
+        """Drain everything already queued, then stop.
+
+        The join is unbounded on purpose: every worker has already
+        returned by the time this runs, so the queue is finite, and
+        ``on_finish`` (fired by the caller next) must not race live
+        ``on_step`` dispatches. A slow user callback delays completion
+        here exactly as it would in a serial run.
+        """
+        self._stop_flag.set()
+        self.join()
+
+
+# -- the worker ------------------------------------------------------------------
+
+# Job arrays for the orchestration calls in flight, keyed by a per-run
+# token plus the job label (the token keeps concurrent orchestrators in
+# one process from clobbering each other's entries). Fork-started workers
+# inherit this mapping, so payloads carry only the keys; spawn-started
+# workers re-import the module and need X/y shipped in the payload (see
+# cross_val_score for the same discipline).
+_shared_job_data: dict[tuple[int, str], tuple[np.ndarray, np.ndarray]] = {}
+_run_token_counter = 0
+_run_token_lock = threading.Lock()
+
+
+def _next_run_token() -> int:
+    global _run_token_counter
+    with _run_token_lock:
+        _run_token_counter += 1
+        return _run_token_counter
+
+
+def _execute_job(payload: dict) -> tuple[str, FastFTResult]:
+    """Run one seeded search job; the single code path for serial and
+    pooled execution, which is what makes pooled results bit-identical."""
+    label = payload["label"]
+    if payload["data"] is not None:
+        X, y = payload["data"]
+    else:
+        X, y = _shared_job_data[(payload["token"], label)]
+    config: FastFTConfig = payload["config"]
+    cache = payload["cache"]
+    callbacks: list[Callback] = []
+    if payload["time_budget"] is not None:
+        callbacks.append(TimeBudget(payload["time_budget"]))
+    if payload["events"] is not None:
+        callbacks.append(_EventRelay(payload["events"], label))
+    callbacks.extend(payload.get("local_callbacks") or [])
+    evaluator = (
+        cache.wrap(make_default_evaluator(payload["task"], config))
+        if cache is not None
+        else None
+    )
+    session = SearchSession(
+        X,
+        y,
+        task=payload["task"],
+        config=config,
+        feature_names=payload["feature_names"],
+        evaluator=evaluator,
+        callbacks=callbacks,
+    )
+    return label, session.run()
+
+
+def _payload_ok(payload: dict) -> bool:
+    """Probe that a job payload crosses the process boundary."""
+    try:
+        pickle.dumps(payload)
+        return True
+    except Exception:
+        warnings.warn(
+            "parallel search needs picklable job payloads (config, "
+            "feature names, data); falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+        return False
+
+
+# -- results ---------------------------------------------------------------------
+
+
+@dataclass
+class SweepResult:
+    """Per-seed outcomes of one multi-seed sweep over a single dataset.
+
+    ``results`` is keyed by seed; ``seeds`` preserves the caller's order,
+    which is also the tie-break order of :attr:`best_seed` (the *first*
+    seed attaining the maximum best score wins, so selection does not
+    depend on scheduling).
+    """
+
+    task: str
+    seeds: list[int] = field(default_factory=list)
+    results: dict[int, FastFTResult] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+    def __iter__(self):
+        return (self.results[s] for s in self.seeds)
+
+    def __getitem__(self, seed: int) -> FastFTResult:
+        return self.results[seed]
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Best downstream score per seed, in seed order."""
+        return np.asarray([self.results[s].best_score for s in self.seeds], dtype=float)
+
+    @property
+    def base_scores(self) -> np.ndarray:
+        return np.asarray([self.results[s].base_score for s in self.seeds], dtype=float)
+
+    @property
+    def score_mean(self) -> float:
+        return float(self.scores.mean())
+
+    @property
+    def score_std(self) -> float:
+        return float(self.scores.std())
+
+    @property
+    def best_seed(self) -> int:
+        scores = self.scores
+        return self.seeds[int(np.argmax(scores))]  # argmax takes the first max
+
+    @property
+    def best(self) -> FastFTResult:
+        return self.results[self.best_seed]
+
+    @property
+    def n_downstream_calls(self) -> int:
+        """Total *actual* CV runs across the sweep (cache hits excluded)."""
+        return sum(self.results[s].n_downstream_calls for s in self.seeds)
+
+    def summary(self) -> str:
+        """Table-I-style report: one row per seed, then mean ± std."""
+        lines = [
+            f"{'seed':>6s} {'base':>10s} {'best':>10s} {'evals':>6s}",
+        ]
+        for s in self.seeds:
+            r = self.results[s]
+            marker = " *" if s == self.best_seed else ""
+            lines.append(
+                f"{s:6d} {r.base_score:10.4f} {r.best_score:10.4f} "
+                f"{r.n_downstream_calls:6d}{marker}"
+            )
+        lines.append(
+            f"{'':6s} mean {self.score_mean:.4f} ± {self.score_std:.4f} "
+            f"over {len(self.seeds)} seeds (* = best, seed-order tie-break)"
+        )
+        return "\n".join(lines)
+
+
+# -- the orchestrator ------------------------------------------------------------
+
+
+class SearchOrchestrator:
+    """Fan seeded search sessions out across a process pool.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes (``1`` = serial in-process, ``-1`` = all cores).
+        The pool never exceeds the number of jobs.
+    cache:
+        ``None`` (each run builds its own shared cache),
+        an :class:`~repro.ml.cache.EvaluationCache` (its entries seed the
+        shared cache and the shared entries merge back on completion), or a
+        :class:`~repro.ml.cache.SharedEvaluationCache` to reuse across
+        calls.
+    callbacks_factory:
+        ``factory(label) -> list[Callback]`` building parent-side observers
+        per job (label = job name, or ``"seed=<s>"`` in a sweep). Under
+        parallelism they receive :class:`SessionView` snapshots relayed
+        over a queue; serially they attach directly to the live session.
+    time_budget:
+        Per-job wall-clock budget in seconds, enforced *inside* each worker
+        (a worker-side :class:`~repro.core.callbacks.TimeBudget`).
+    """
+
+    def __init__(
+        self,
+        n_jobs: int = 1,
+        *,
+        cache: "EvaluationCache | SharedEvaluationCache | None" = None,
+        callbacks_factory: Callable[[str], list[Callback]] | None = None,
+        time_budget: float | None = None,
+    ) -> None:
+        if n_jobs < 1 and n_jobs != -1:
+            raise ValueError("n_jobs must be >= 1 or -1 (all cores)")
+        self.n_jobs = n_jobs
+        self.cache = cache
+        self.callbacks_factory = callbacks_factory
+        self.time_budget = time_budget
+
+    # -- public entry points ---------------------------------------------------
+
+    def sweep(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        task: str = "classification",
+        *,
+        seeds: Iterable[int] = (0, 1, 2),
+        config: FastFTConfig | None = None,
+        feature_names: list[str] | None = None,
+        **config_overrides: Any,
+    ) -> SweepResult:
+        """Run one seeded search per seed; see :class:`SweepResult`.
+
+        Every per-seed result is bit-identical to
+        ``api.search(X, y, task, config=replace(config, seed=s))`` run
+        serially (``n_downstream_calls`` aside — the shared cache may save
+        real CV runs).
+        """
+        seeds = [int(s) for s in seeds]
+        if not seeds:
+            raise ValueError("seeds must be non-empty")
+        if len(set(seeds)) != len(seeds):
+            raise ValueError(f"seeds must be unique, got {seeds}")
+        cfg = resolve_config(config, config_overrides)
+        jobs = [
+            (f"seed={s}", X, y, task, feature_names, replace(cfg, seed=s))
+            for s in seeds
+        ]
+        by_label = self._run_jobs(jobs)
+        return SweepResult(
+            task=task,
+            seeds=seeds,
+            results={s: by_label[f"seed={s}"] for s in seeds},
+        )
+
+    def run_batch(
+        self,
+        jobs: Iterable,
+        *,
+        config: FastFTConfig | None = None,
+        **config_overrides: Any,
+    ) -> dict[str, FastFTResult]:
+        """Run FastFT over several datasets; ``{name: result}`` in input order.
+
+        ``jobs`` accepts the same shapes as :func:`repro.api.run_batch`
+        (Dataset-like objects, mappings, ``(name, X, y, task)`` tuples).
+        Duplicate names are rejected up front — before any search runs —
+        so the serial and parallel paths fail fast identically.
+        """
+        cfg = resolve_config(config, config_overrides)
+        specs = []
+        seen: set[str] = set()
+        for job in jobs:
+            name, X, y, task, feature_names = job_fields(job)
+            if name in seen:
+                raise ValueError(f"Duplicate job name {name!r} in batch")
+            seen.add(name)
+            specs.append((name, X, y, task, feature_names, cfg))
+        if not specs:
+            return {}
+        return self._run_jobs(specs)
+
+    # -- execution -------------------------------------------------------------
+
+    def _resolve_workers(self, n_tasks: int) -> int:
+        n = os.cpu_count() or 1 if self.n_jobs == -1 else self.n_jobs
+        return max(1, min(n, n_tasks))
+
+    def _run_jobs(self, specs: list[tuple]) -> dict[str, FastFTResult]:
+        """specs: (label, X, y, task, feature_names, config) per job."""
+        n_workers = self._resolve_workers(len(specs))
+        if n_workers > 1:
+            results = self._run_pool(specs, n_workers)
+            if results is not None:
+                return results
+        return self._run_serial(specs)
+
+    def _run_serial(self, specs: list[tuple]) -> dict[str, FastFTResult]:
+        cache = self.cache if self.cache is not None else EvaluationCache()
+        results: dict[str, FastFTResult] = {}
+        for label, X, y, task, feature_names, config in specs:
+            local_callbacks = (
+                list(self.callbacks_factory(label)) if self.callbacks_factory else []
+            )
+            payload = {
+                "label": label,
+                "data": (X, y),
+                "task": task,
+                "feature_names": feature_names,
+                "config": config,
+                "cache": cache,
+                "time_budget": self.time_budget,
+                "events": None,
+                "local_callbacks": local_callbacks,
+            }
+            results[label] = _execute_job(payload)[1]
+        return results
+
+    def _run_pool(
+        self, specs: list[tuple], n_workers: int
+    ) -> dict[str, FastFTResult] | None:
+        """Pooled execution; returns None to demote to the serial path."""
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+            ship_data = False  # workers fork below, inheriting _shared_job_data
+        except ValueError:  # platforms without fork
+            ctx = multiprocessing.get_context("spawn")
+            ship_data = True
+
+        # One manager per run hosts the shared cache and the event queue;
+        # it is shut down before returning unless the caller owns the cache.
+        manager = None
+        if isinstance(self.cache, SharedEvaluationCache):
+            shared = self.cache
+        else:
+            manager = multiprocessing.Manager()
+            shared = SharedEvaluationCache(manager=manager)
+            if self.cache is not None:
+                shared.seed_from(self.cache)
+
+        sinks: dict[str, CallbackList] = {}
+        events = None
+        if self.callbacks_factory is not None:
+            if manager is None:
+                manager = multiprocessing.Manager()
+            events = manager.Queue()
+            for label, *_ in specs:
+                sinks[label] = CallbackList(self.callbacks_factory(label))
+
+        token = _next_run_token()
+        payloads = []
+        for label, X, y, task, feature_names, config in specs:
+            payloads.append(
+                {
+                    "label": label,
+                    "token": token,
+                    "data": (np.asarray(X), np.asarray(y)) if ship_data else None,
+                    "task": task,
+                    "feature_names": feature_names,
+                    "config": config,
+                    "cache": shared,
+                    "time_budget": self.time_budget,
+                    "events": events,
+                    "local_callbacks": None,
+                }
+            )
+
+        try:
+            # The arrays are numpy (always picklable) and identical in kind
+            # across payloads, so one probe with the data stripped covers
+            # every pickling failure mode at O(1) cost.
+            probe = {k: v for k, v in payloads[0].items() if k != "data"}
+            if not _payload_ok(probe):
+                return None
+
+            for label, X, y, *_ in specs:
+                _shared_job_data[(token, label)] = (np.asarray(X), np.asarray(y))
+            pump = None
+            try:
+                with ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+                    # map() submits every payload eagerly, so the workers
+                    # fork here — before the drain thread starts (a
+                    # multi-threaded fork is where deadlocks live).
+                    it = pool.map(_execute_job, payloads)
+                    if events is not None:
+                        pump = _EventPump(events, sinks)
+                        pump.start()
+                    ordered = list(it)
+            finally:
+                for label, *_ in specs:
+                    _shared_job_data.pop((token, label), None)
+                if pump is not None:
+                    pump.finish()
+
+            results = dict(ordered)
+            if events is not None:
+                # on_finish fires once per job, in submission order, after
+                # every relayed event has been dispatched.
+                for label, *_ in specs:
+                    view = pump.last_view.get(label)
+                    if view is not None:
+                        sinks[label].on_finish(view, results[label])
+                if pump.errors:
+                    raise pump.errors[0]
+
+            if isinstance(self.cache, EvaluationCache):
+                shared.merge_into(self.cache)
+            return results
+        finally:
+            if manager is not None:
+                manager.shutdown()

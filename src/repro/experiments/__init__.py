@@ -12,6 +12,7 @@ from repro.experiments.harness import (
     make_fastft_config,
     run_baseline_on_dataset,
     run_fastft_on_dataset,
+    run_fastft_sweep_on_dataset,
 )
 
 __all__ = [
@@ -22,5 +23,6 @@ __all__ = [
     "make_fastft_config",
     "make_baseline",
     "run_fastft_on_dataset",
+    "run_fastft_sweep_on_dataset",
     "run_baseline_on_dataset",
 ]

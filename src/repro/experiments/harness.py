@@ -26,6 +26,7 @@ __all__ = [
     "make_baseline",
     "load_profile_dataset",
     "run_fastft_on_dataset",
+    "run_fastft_sweep_on_dataset",
     "run_baseline_on_dataset",
     "METHOD_ORDER",
 ]
@@ -102,6 +103,40 @@ def run_fastft_on_dataset(
         cache=cache,
     )
     return result, time.perf_counter() - start
+
+
+def run_fastft_sweep_on_dataset(
+    dataset: Dataset,
+    profile: RunProfile,
+    seeds: list[int],
+    n_jobs: int = 1,
+    cache: "api.EvaluationCache | None" = None,
+    **config_overrides,
+) -> tuple["api.SweepResult", float]:
+    """The multi-seed protocol behind mean ± std table rows.
+
+    Runs one seeded FastFT search per seed through
+    :class:`repro.core.parallel.SearchOrchestrator` and returns
+    ``(sweep_result, wall_seconds)``. This is the opt-in parallel path for
+    multi-seed tables: ``n_jobs>1`` fans the seeds across worker processes
+    sharing one oracle cache, with per-seed results bit-identical to the
+    serial protocol (so a table regenerated in parallel matches one
+    regenerated serially, entry for entry). ``mean_std(sweep.scores)``
+    gives the reportable pair.
+    """
+    config = make_fastft_config(profile, seed=seeds[0] if seeds else 0, **config_overrides)
+    start = time.perf_counter()
+    sweep = api.sweep(
+        dataset.X,
+        dataset.y,
+        dataset.task,
+        seeds=seeds,
+        n_jobs=n_jobs,
+        config=config,
+        feature_names=dataset.feature_names,
+        cache=cache,
+    )
+    return sweep, time.perf_counter() - start
 
 
 def run_baseline_on_dataset(

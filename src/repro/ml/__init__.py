@@ -13,6 +13,7 @@ code.
 
 from repro.ml.base import BaseEstimator, ClassifierMixin, RegressorMixin, clone
 from repro.ml.boosting import GradientBoostingClassifier, GradientBoostingRegressor
+from repro.ml.cache import CachedEvaluator, EvaluationCache, SharedEvaluationCache
 from repro.ml.evaluation import DownstreamEvaluator, default_model_for_task
 from repro.ml.feature_selection import SelectKBest, VarianceThreshold, mrmr_select
 from repro.ml.forest import RandomForestClassifier, RandomForestRegressor
@@ -43,6 +44,9 @@ __all__ = [
     "ClassifierMixin",
     "RegressorMixin",
     "clone",
+    "EvaluationCache",
+    "SharedEvaluationCache",
+    "CachedEvaluator",
     "DecisionTreeClassifier",
     "DecisionTreeRegressor",
     "RandomForestClassifier",

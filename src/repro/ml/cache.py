@@ -1,0 +1,292 @@
+"""Content-addressed memoization of downstream oracle scores.
+
+The :class:`EvaluationCache` attacks the *evaluation* bucket of the paper's
+Table II time breakdown: downstream cross-validation dominates search cost,
+and identical feature matrices recur — across restarted sessions, repeated
+plans within a search, ablation arms sharing a cold start, and batch jobs
+re-validating the same candidates. Scores are memoized by a content
+signature of the evaluated matrix/target plus an evaluator fingerprint, so
+a hit is exact, not approximate.
+
+Three layers:
+
+- :class:`EvaluationCache` — process-local dict, picklable, travels inside
+  session checkpoints.
+- :class:`SharedEvaluationCache` — the same key space over a
+  ``multiprocessing.Manager`` dict, so the worker processes of a
+  :class:`repro.core.parallel.SearchOrchestrator` sweep share one oracle
+  cache; merged back into a caller's local cache on completion.
+- :class:`CachedEvaluator` — the drop-in evaluator front that consults
+  either cache.
+
+Historically these classes lived in :mod:`repro.api`, which still
+re-exports them (existing imports and pickled checkpoints keep working);
+they moved here so :mod:`repro.core.parallel` can use them without
+importing the facade.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from typing import Mapping
+
+import numpy as np
+
+from repro.ml.evaluation import DownstreamEvaluator
+
+__all__ = ["EvaluationCache", "SharedEvaluationCache", "CachedEvaluator"]
+
+
+class EvaluationCache:
+    """Process-local memo of downstream CV scores, keyed by content.
+
+    The key covers the exact feature matrix bytes, the target bytes and a
+    fingerprint of the evaluator (task, folds, seed, model template), so
+    two differently-configured oracles never share entries. Use
+    :meth:`wrap` to attach the cache to an evaluator::
+
+        cache = EvaluationCache()
+        result = api.search(X, y, cache=cache)
+        cache.hits, cache.misses
+
+    The cache is a plain picklable object: a session checkpointed with a
+    cache-wrapped evaluator carries its entries into the resumed run.
+    """
+
+    def __init__(self, max_entries: int = 100_000) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: dict[str, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @staticmethod
+    def _digest_array(arr: np.ndarray) -> bytes:
+        arr = np.ascontiguousarray(arr)
+        h = hashlib.sha1()
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+        return h.digest()
+
+    def signature(self, X: np.ndarray, y: np.ndarray, fingerprint: bytes = b"") -> str:
+        h = hashlib.sha1()
+        h.update(fingerprint)
+        h.update(self._digest_array(np.asarray(X)))
+        h.update(self._digest_array(np.asarray(y)))
+        return h.hexdigest()
+
+    def get(self, key: str) -> float | None:
+        score = self._entries.get(key)
+        if score is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return score
+
+    def put(self, key: str, score: float) -> None:
+        if len(self._entries) >= self.max_entries and key not in self._entries:
+            # Drop the oldest entry (dicts preserve insertion order).
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = float(score)
+
+    def snapshot_entries(self) -> dict[str, float]:
+        """Copy of the stored ``{key: score}`` entries (for seeding/merging)."""
+        return dict(self._entries)
+
+    def merge_entries(self, entries: Mapping[str, float]) -> int:
+        """Absorb entries from another cache; returns how many were new.
+
+        Respects ``max_entries`` through the normal :meth:`put` eviction.
+        """
+        added = 0
+        for key, score in entries.items():
+            if key not in self._entries:
+                added += 1
+            self.put(key, score)
+        return added
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def wrap(self, evaluator: DownstreamEvaluator) -> "CachedEvaluator":
+        return CachedEvaluator(evaluator, self)
+
+
+class SharedEvaluationCache:
+    """Cross-process oracle cache over a ``multiprocessing.Manager`` dict.
+
+    Same content-signature key space as :class:`EvaluationCache`, but the
+    entry store lives in a manager process, so every worker of a parallel
+    sweep/batch reads and writes one shared memo: a matrix evaluated by one
+    worker is a cache hit for every other worker. Scores are exact, so
+    sharing never perturbs search trajectories — only how many real CV runs
+    they cost.
+
+    Pickling ships only the dict *proxy* (the manager itself stays in the
+    creating process), which is exactly what lets the object ride a
+    ``ProcessPoolExecutor`` payload. ``hits``/``misses`` are therefore
+    per-process counters. Call :meth:`merge_into` to fold the shared
+    entries back into a local :class:`EvaluationCache`, and
+    :meth:`shutdown` to stop an owned manager.
+    """
+
+    def __init__(self, max_entries: int = 100_000, manager=None) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if manager is None:
+            import multiprocessing
+
+            manager = multiprocessing.Manager()
+            self._owns_manager = True
+        else:
+            self._owns_manager = False
+        self.max_entries = max_entries
+        self._manager = manager
+        self._entries = manager.dict()
+        self.hits = 0
+        self.misses = 0
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        # Workers need only the proxy; the manager is not picklable and its
+        # lifecycle belongs to the creating process. Fresh per-process
+        # hit/miss counters keep the stats honest about *this* process.
+        state["_manager"] = None
+        state["_owns_manager"] = False
+        state["hits"] = 0
+        state["misses"] = 0
+        return state
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # The key derivation is shared verbatim with the local cache.
+    _digest_array = staticmethod(EvaluationCache._digest_array)
+    signature = EvaluationCache.signature
+
+    def get(self, key: str) -> float | None:
+        score = self._entries.get(key)
+        if score is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return score
+
+    def put(self, key: str, score: float) -> None:
+        if len(self._entries) >= self.max_entries and key not in self._entries:
+            try:
+                oldest = next(iter(self._entries.keys()))
+                self._entries.pop(oldest)
+            except (StopIteration, KeyError):  # racing eviction in a sibling
+                pass
+        self._entries[key] = float(score)
+
+    def snapshot_entries(self) -> dict[str, float]:
+        return dict(self._entries)
+
+    def seed_from(self, cache: EvaluationCache) -> None:
+        """Pre-populate the shared store from a local cache's entries."""
+        self._entries.update(cache.snapshot_entries())
+
+    def merge_into(self, cache: EvaluationCache) -> int:
+        """Fold the shared entries into a local cache; returns new entries."""
+        return cache.merge_entries(self.snapshot_entries())
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def wrap(self, evaluator: DownstreamEvaluator) -> "CachedEvaluator":
+        return CachedEvaluator(evaluator, self)
+
+    def shutdown(self) -> None:
+        """Stop the manager process (no-op if the manager was borrowed)."""
+        if self._owns_manager and self._manager is not None:
+            self._manager.shutdown()
+            self._manager = None
+
+
+class CachedEvaluator:
+    """Drop-in :class:`DownstreamEvaluator` front that consults a cache.
+
+    ``n_calls``/``total_time`` mirror the wrapped evaluator, so they count
+    only *actual* CV runs — exactly what
+    :meth:`SearchSession._evaluate_matrix` needs to report honest
+    ``n_downstream_calls`` figures.
+    """
+
+    def __init__(
+        self, evaluator: DownstreamEvaluator, cache: "EvaluationCache | SharedEvaluationCache"
+    ) -> None:
+        self.evaluator = evaluator
+        self.cache = cache
+        self._fingerprint = self._evaluator_fingerprint(evaluator)
+
+    @staticmethod
+    def _evaluator_fingerprint(evaluator: DownstreamEvaluator) -> bytes:
+        # Metrics and models are keyed by their pickled bytes. Two distinct
+        # closures share a __qualname__, so anything unpicklable falls back
+        # to its object identity: such evaluators never share cache entries
+        # (correct, just less sharing) instead of silently colliding.
+        def blob(obj) -> bytes:
+            try:
+                return pickle.dumps(obj)
+            except Exception:
+                return f"{obj!r}@{id(obj)}".encode()
+
+        h = hashlib.sha1()
+        h.update(getattr(evaluator, "task", "?").encode())
+        h.update(str(getattr(evaluator, "n_splits", "?")).encode())
+        h.update(str(getattr(evaluator, "seed", "?")).encode())
+        h.update(blob(getattr(evaluator, "metric", None)))
+        h.update(blob(getattr(evaluator, "model", None)))
+        return h.digest()
+
+    # -- DownstreamEvaluator interface parity ---------------------------------
+
+    @property
+    def task(self) -> str:
+        return self.evaluator.task
+
+    @property
+    def n_calls(self) -> int:
+        return self.evaluator.n_calls
+
+    @property
+    def total_time(self) -> float:
+        return self.evaluator.total_time
+
+    def reset_counters(self) -> None:
+        self.evaluator.reset_counters()
+
+    def __call__(self, X: np.ndarray, y: np.ndarray) -> float:
+        key = self.cache.signature(X, y, self._fingerprint)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        score = self.evaluator(X, y)
+        self.cache.put(key, score)
+        return score
+
+    def evaluate(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Alias of :meth:`__call__`, mirroring ``DownstreamEvaluator``."""
+        return self(X, y)

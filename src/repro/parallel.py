@@ -1,0 +1,17 @@
+"""Convenience namespace for parallel search orchestration.
+
+``from repro import parallel`` mirrors :mod:`repro.core.parallel` —
+:class:`SearchOrchestrator` (multi-seed sweeps and process-pool batches
+with a shared cross-process oracle cache), :class:`SweepResult` and
+:class:`SessionView`. See that module's docstring for the determinism
+contract (bit-identical to serial, fork/spawn handling, pickling
+fallback).
+"""
+
+from repro.core.parallel import (
+    SearchOrchestrator,
+    SessionView,
+    SweepResult,
+)
+
+__all__ = ["SearchOrchestrator", "SweepResult", "SessionView"]

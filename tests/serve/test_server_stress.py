@@ -1,0 +1,145 @@
+"""MicroBatcher under contention: exactness is independent of coalescing.
+
+The batcher's contract — asserted by PR 3 but never exercised under real
+concurrency — is that a response depends only on the request's own rows,
+never on which other requests it was coalesced with. That holds because
+every pipeline op is elementwise (row-independent) and non-finite inputs
+are rejected *before* batching (batch-median imputation would otherwise
+leak batch composition into responses). This suite hammers the in-process
+``PipelineService`` from many threads with barrier-synchronized rounds (so
+batches actually form) and checks byte-identity against single-request
+answers, with mixed transform/predict kinds, shuffled batch compositions
+and interleaved invalid requests.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.server import PipelineService
+
+N_THREADS = 12
+ROUNDS = 4
+
+
+@pytest.fixture()
+def service(artifact):
+    service = PipelineService(artifact, max_wait_ms=50.0)
+    yield service
+    service.close()
+
+
+def _requests(artifact, seed: int) -> list[tuple[str, np.ndarray]]:
+    """One request per thread: mixed kinds, varied row counts."""
+    rng = np.random.default_rng(seed)
+    d = artifact.plan.n_input_columns
+    out = []
+    for i in range(N_THREADS):
+        rows = rng.normal(size=(1 + i % 3, d)) * rng.choice([1e-2, 1.0, 1e3])
+        kind = "predict" if i % 3 == 2 else "transform"
+        out.append((kind, rows))
+    return out
+
+
+def _reference(artifact, kind: str, rows: np.ndarray) -> dict:
+    """Single-request ground truth, computed without the batcher."""
+    features = artifact.transform(rows)
+    if kind == "transform":
+        return {"features": features}
+    out = {"predictions": artifact.model.predict(features)}
+    if hasattr(artifact.model, "predict_proba"):
+        out["proba"] = artifact.model.predict_proba(features)
+    return out
+
+
+def _hammer(service, requests) -> list[dict | Exception]:
+    """Fire all requests through a barrier so they land in one window."""
+    barrier = threading.Barrier(len(requests))
+    results: list[dict | Exception | None] = [None] * len(requests)
+
+    def worker(i: int, kind: str, rows: np.ndarray) -> None:
+        barrier.wait()
+        try:
+            if kind == "transform":
+                results[i] = {"features": service.transform(rows)}
+            else:
+                results[i] = service.predict(rows)
+        except Exception as exc:  # collected and asserted by the caller
+            results[i] = exc
+
+    threads = [
+        threading.Thread(target=worker, args=(i, kind, rows))
+        for i, (kind, rows) in enumerate(requests)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30.0)
+    assert all(not t.is_alive() for t in threads)
+    return results
+
+
+def _assert_byte_identical(actual: dict, expected: dict) -> None:
+    assert set(actual) == set(expected)
+    for key, value in expected.items():
+        assert actual[key].tobytes() == value.tobytes(), key
+
+
+def test_concurrent_responses_byte_identical_to_single_requests(artifact, service):
+    for round_no in range(ROUNDS):
+        # A different permutation each round changes which requests share a
+        # batch — responses must not notice.
+        requests = _requests(artifact, seed=round_no)
+        results = _hammer(service, requests)
+        for (kind, rows), actual in zip(requests, results):
+            assert not isinstance(actual, Exception), actual
+            _assert_byte_identical(actual, _reference(artifact, kind, rows))
+    stats = service.batcher.stats()
+    assert stats["requests"] == N_THREADS * ROUNDS
+    # The barrier + 50ms window guarantees real coalescing happened, so the
+    # identity checks above genuinely covered multi-request batches.
+    assert stats["max_batch_requests"] >= 2
+    assert stats["batches"] < stats["requests"]
+
+
+def test_batch_composition_does_not_change_answers(artifact, service):
+    """The same request coalesced with different partners answers the same."""
+    rng = np.random.default_rng(99)
+    d = artifact.plan.n_input_columns
+    probe = rng.normal(size=(2, d))
+    expected = _reference(artifact, "transform", probe)
+
+    outputs = []
+    for round_no in range(ROUNDS):
+        partners = _requests(artifact, seed=1000 + round_no)
+        requests = [("transform", probe), *partners]
+        results = _hammer(service, requests)
+        assert not isinstance(results[0], Exception), results[0]
+        outputs.append(results[0])
+    for actual in outputs:
+        _assert_byte_identical(actual, expected)
+
+
+def test_invalid_rows_rejected_without_poisoning_the_batch(artifact, service):
+    """Non-finite rows raise for their caller only — the guard that keeps
+    batch-median imputation (hence batch composition) out of responses."""
+    rng = np.random.default_rng(7)
+    d = artifact.plan.n_input_columns
+    requests = []
+    for i in range(N_THREADS):
+        rows = rng.normal(size=(2, d))
+        if i % 4 == 0:
+            rows = rows.copy()
+            rows[0, 0] = np.inf if i % 8 == 0 else np.nan
+        requests.append(("transform", rows))
+    results = _hammer(service, requests)
+    for i, ((kind, rows), actual) in enumerate(zip(requests, results)):
+        if i % 4 == 0:
+            assert isinstance(actual, ValueError)
+            assert "finite" in str(actual)
+        else:
+            assert not isinstance(actual, Exception), actual
+            _assert_byte_identical(actual, _reference(artifact, kind, rows))

@@ -22,9 +22,26 @@ class TestParser:
         args = build_parser().parse_args(
             ["transform", "pima_indian", "--episodes", "3", "--scale", "0.1"]
         )
-        assert args.dataset == "pima_indian"
+        assert args.dataset == ["pima_indian"]  # several names = one batch
         assert args.episodes == 3
         assert args.scale == 0.1
+        assert args.n_jobs == 1
+
+    def test_transform_accepts_several_datasets(self):
+        args = build_parser().parse_args(
+            ["transform", "pima_indian", "wine_quality_red", "--n-jobs", "2"]
+        )
+        assert args.dataset == ["pima_indian", "wine_quality_red"]
+        assert args.n_jobs == 2
+
+    def test_sweep_args(self):
+        args = build_parser().parse_args(
+            ["sweep", "pima_indian", "--seeds", "0,1,2", "--n-jobs", "4"]
+        )
+        assert args.dataset == "pima_indian"
+        assert args.seeds == "0,1,2"
+        assert args.n_jobs == 4
+        assert args.episodes == 8  # shared search flags apply
 
     def test_experiments_only_subset(self):
         args = build_parser().parse_args(["experiments", "--only", "fig11", "table4"])
@@ -125,6 +142,54 @@ class TestCommands:
         # they diff cleanly under version control.
         assert text.startswith("{\n  ")
         assert text.endswith("}\n")
+
+    def test_transform_batch_end_to_end(self, capsys):
+        code = main(
+            [
+                "transform", "pima_indian", "wine_quality_red",
+                "--scale", "0.08",
+                "--episodes", "2",
+                "--steps", "2",
+                "--cv", "3",
+                "--rf-estimators", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pima_indian" in out and "wine_quality_red" in out
+        assert out.count("->") == 2  # one score line per dataset
+
+    def test_transform_batch_rejects_single_search_flags(self, capsys):
+        code = main(
+            ["transform", "pima_indian", "wine_quality_red", "--save-plan", "p.json"]
+        )
+        assert code == 2
+        assert "single search" in capsys.readouterr().err
+
+    def test_sweep_end_to_end(self, capsys, tmp_path):
+        plan_path = tmp_path / "best_plan.json"
+        code = main(
+            [
+                "sweep", "pima_indian",
+                "--scale", "0.08",
+                "--episodes", "2",
+                "--steps", "2",
+                "--cv", "3",
+                "--rf-estimators", "3",
+                "--seeds", "0,1",
+                "--save-plan", str(plan_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean" in out and "best" in out
+        assert TransformationPlan.from_json(plan_path.read_text()).n_input_columns == 8
+
+    def test_sweep_rejects_bad_seeds(self, capsys):
+        assert main(["sweep", "pima_indian", "--seeds", "a,b"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+        assert main(["sweep", "pima_indian", "--seeds", ","]) == 2
+        assert "at least one seed" in capsys.readouterr().err
 
     def test_transform_checkpoint_and_resume_command(self, capsys, tmp_path):
         ckpt = tmp_path / "session.ckpt"

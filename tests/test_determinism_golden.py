@@ -1,0 +1,116 @@
+"""Determinism goldens: the repo's central correctness currency, pinned.
+
+Bit-identical seeded runs are what every other guarantee here leans on —
+checkpoint/resume, the presort oracle, the compiled serving path, and now
+the parallel orchestrator all promise "same numbers as the serial seed
+run". This suite makes that promise testable in three layers:
+
+1. two in-process runs of the same tiny end-to-end search agree
+   field-for-field (steps, scores, plan JSON);
+2. the same search driven through ``SearchOrchestrator`` (one worker)
+   agrees with them;
+3. the run's digest — sha256 over the plan JSON and the score reprs —
+   matches a golden checked into this file, so *silent* drift introduced
+   by a future PR (a reordered RNG draw, a refactored reduction, a new
+   default) fails loudly here even if the run is still self-consistent.
+
+If a PR changes these digests on purpose (e.g. it deliberately alters the
+search trajectory), the failure message prints the new digest to check in
+— but the diff must say *why* the trajectory moved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core.result import FastFTResult
+
+# One tiny schedule exercising every stage: cold start (1 episode),
+# component training, triggered exploration and a fine-tune refit.
+GOLDEN_CONFIG = dict(
+    episodes=3,
+    steps_per_episode=2,
+    cold_start_episodes=1,
+    retrain_every_episodes=1,
+    component_epochs=2,
+    trigger_warmup=2,
+    cv_splits=3,
+    rf_estimators=4,
+    max_clusters=3,
+    mi_max_rows=64,
+    seed=7,
+)
+
+# sha256(plan JSON + repr(base_score) + repr(best_score)) per task type.
+GOLDEN_DIGESTS = {
+    "classification": "a73dfd00b22b5f87047d3d0704068556e27c3d7415b038413f57549143737992",
+    "regression": "77cb665889fbadc35d975453a20562419475850d80175a0fd5666df8549f5d93",
+}
+
+
+def _problem(task: str) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(17)
+    X = rng.normal(size=(90, 4))
+    if task == "classification":
+        y = (X[:, 0] * X[:, 1] + 0.5 * X[:, 2] > 0).astype(int)
+    else:
+        y = X[:, 0] * X[:, 1] + 0.5 * X[:, 2] ** 2
+    return X, y
+
+
+def _digest(result: FastFTResult) -> str:
+    h = hashlib.sha256()
+    h.update(result.plan.to_json().encode())
+    h.update(repr(result.base_score).encode())
+    h.update(repr(result.best_score).encode())
+    return h.hexdigest()
+
+
+def _deterministic_view(result: FastFTResult) -> list[dict]:
+    # json round-trip normalizes container types so comparisons are exact
+    # on values, not on list-vs-tuple incidentals.
+    return [
+        json.loads(json.dumps(r.deterministic_dict())) for r in result.history
+    ]
+
+
+@pytest.mark.parametrize("task", ["classification", "regression"])
+class TestDeterminismGolden:
+    def test_two_inprocess_runs_are_bit_identical(self, task):
+        X, y = _problem(task)
+        first = api.search(X, y, task, **GOLDEN_CONFIG)
+        second = api.search(X, y, task, **GOLDEN_CONFIG)
+        assert first.plan.to_json() == second.plan.to_json()
+        assert repr(first.base_score) == repr(second.base_score)
+        assert repr(first.best_score) == repr(second.best_score)
+        assert _deterministic_view(first) == _deterministic_view(second)
+        assert _digest(first) == _digest(second)
+
+    def test_orchestrator_single_worker_matches_inprocess(self, task):
+        X, y = _problem(task)
+        reference = api.search(X, y, task, **GOLDEN_CONFIG)
+        sweep = api.sweep(
+            X, y, task, seeds=[GOLDEN_CONFIG["seed"]], n_jobs=1,
+            **{k: v for k, v in GOLDEN_CONFIG.items() if k != "seed"},
+        )
+        orchestrated = sweep[GOLDEN_CONFIG["seed"]]
+        assert orchestrated.plan.to_json() == reference.plan.to_json()
+        assert repr(orchestrated.best_score) == repr(reference.best_score)
+        assert _deterministic_view(orchestrated) == _deterministic_view(reference)
+        assert _digest(orchestrated) == _digest(reference)
+
+    def test_digest_matches_checked_in_golden(self, task):
+        X, y = _problem(task)
+        result = api.search(X, y, task, **GOLDEN_CONFIG)
+        assert _digest(result) == GOLDEN_DIGESTS[task], (
+            f"{task} search trajectory drifted from the checked-in golden. "
+            f"If this PR changes the search on purpose, update "
+            f"GOLDEN_DIGESTS[{task!r}] to {_digest(result)!r} and explain "
+            f"the trajectory change in the PR; if not, a refactor broke "
+            f"seeded determinism — bisect before touching the golden."
+        )
