@@ -14,9 +14,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.mutual_info import mutual_info_matrix, mutual_info_with_target
+from repro.ml.mutual_info import (
+    _discretize_continuous,
+    discrete_mutual_info,
+    mutual_info_matrix,
+    mutual_info_with_target,
+)
+from repro.ml.preprocessing import KBinsDiscretizer
 
-__all__ = ["pairwise_cluster_distance", "cluster_features"]
+__all__ = [
+    "pairwise_cluster_distance",
+    "cluster_features",
+    "IncrementalClusterer",
+    "RelevanceCache",
+]
 
 
 def pairwise_cluster_distance(
@@ -102,3 +113,201 @@ def cluster_features(
         active.remove(b)
 
     return [sorted(clusters[a]) for a in active]
+
+
+def _merge_average_linkage(
+    base: np.ndarray,
+    threshold: float,
+    min_clusters: int,
+    max_clusters: int | None,
+) -> list[list[int]]:
+    """Vectorized version of the merge loop in :func:`cluster_features`.
+
+    Bit-identical pair selection: the python loop scans active pairs in
+    row-major upper-triangle order keeping the first strict minimum, which
+    is exactly ``np.argmin`` over ``triu_indices`` of the distance matrix
+    built in active-list order; the per-pair division and the additive
+    ``sums`` updates are the same arithmetic the reference performs.
+    """
+    d = base.shape[0]
+    clusters: list[list[int]] = [[j] for j in range(d)]
+    sums = base.copy()
+    active = list(range(d))
+
+    while len(active) > max(min_clusters, 1):
+        act = np.asarray(active)
+        sizes = np.array([len(clusters[a]) for a in active], dtype=float)
+        dist = sums[np.ix_(act, act)] / np.outer(sizes, sizes)
+        iu, ju = np.triu_indices(len(act), k=1)
+        flat = dist[iu, ju]
+        pos = int(np.argmin(flat))
+        best_dist = float(flat[pos])
+        over_budget = max_clusters is not None and len(active) > max_clusters
+        if best_dist > threshold and not over_budget:
+            break
+        a, b = int(act[iu[pos]]), int(act[ju[pos]])
+        clusters[a] = clusters[a] + clusters[b]
+        sums[a, :] += sums[b, :]
+        sums[:, a] += sums[:, b]
+        active.remove(b)
+
+    return [sorted(clusters[a]) for a in active]
+
+
+class RelevanceCache:
+    """Per-feature-id memo of full-row MI(F_j, y) for importance pruning.
+
+    ``mutual_info_with_target`` discretizes and scores every column
+    independently, so a feature's relevance never changes while its column
+    is immutable — the session's prune step only pays for newly created
+    features instead of re-estimating the whole live set every step.
+    Values are bit-identical to the batch function (same discretizer, same
+    estimator, per column).
+    """
+
+    def __init__(self, task: str, n_bins: int) -> None:
+        self.task = task
+        self.n_bins = n_bins
+        self._y_codes: np.ndarray | None = None
+        self._rel: dict[int, float] = {}
+
+    def _target_codes(self, y: np.ndarray) -> np.ndarray:
+        if self._y_codes is None:
+            y = np.asarray(y).ravel()
+            if self.task == "regression":
+                self._y_codes = _discretize_continuous(y.astype(float), self.n_bins)
+            else:
+                self._y_codes = np.unique(y, return_inverse=True)[1]
+        return self._y_codes
+
+    def relevance(self, space, y: np.ndarray, fids: list[int]) -> np.ndarray:
+        """MI(F_j, y) per feature, in ``fids`` order."""
+        y_codes = self._target_codes(y)
+        rel = self._rel
+        for f in fids:
+            if f not in rel:
+                column = np.asarray(space.values(f), dtype=float).reshape(-1, 1)
+                codes = KBinsDiscretizer(n_bins=self.n_bins).fit_transform(column)
+                rel[f] = discrete_mutual_info(codes.ravel(), y_codes)
+        return np.array([rel[f] for f in fids], dtype=float)
+
+
+class IncrementalClusterer:
+    """Feature clustering with cross-step MI caching over a ``FeatureSpace``.
+
+    The Eq. 2 distance needs MI(F_j, y) per feature and MI(F_i, F_j) per
+    pair, all computed on one fixed row subsample (the subsample depends
+    only on the seed and the row count, so it is identical on every call
+    of a session). Feature columns are immutable, so discretized codes,
+    relevances and pairwise MIs are memoized by feature id — a step that
+    adds ``m`` features to a ``k``-feature set estimates ``O(m·k)`` new
+    pairs instead of ``O(k²)``. Pair MIs are keyed by *ordered* id pair:
+    ``discrete_mutual_info`` is only value-symmetric up to summation
+    order, and the seed computes position-ordered pairs, so both
+    orientations may be cached when prunes reorder the live set.
+
+    Output is bit-identical to
+    ``cluster_features(sanitize_features(space.matrix()), y, ...)``
+    (proven in ``tests/core/test_incremental_search.py``); requires a
+    non-``None`` seed whenever subsampling applies, because the reference
+    would draw fresh rows per call from an unseeded generator.
+    """
+
+    def __init__(
+        self,
+        task: str = "classification",
+        distance_threshold: float | str = "auto",
+        min_clusters: int = 2,
+        max_clusters: int | None = None,
+        varsigma: float = 1e-3,
+        n_bins: int = 8,
+        max_rows: int = 256,
+        seed: int | None = 0,
+    ) -> None:
+        self.task = task
+        self.distance_threshold = distance_threshold
+        self.min_clusters = min_clusters
+        self.max_clusters = max_clusters
+        self.varsigma = varsigma
+        self.n_bins = n_bins
+        self.max_rows = max_rows
+        self.seed = seed
+        self._rows: np.ndarray | slice | None = None
+        self._y_codes: np.ndarray | None = None
+        self._codes: dict[int, np.ndarray] = {}
+        self._rel: dict[int, float] = {}
+        self._pair_mi: dict[tuple[int, int], float] = {}
+
+    def _prepare_rows(self, n_rows: int, y: np.ndarray) -> None:
+        if self._rows is not None:
+            return
+        if n_rows > self.max_rows:
+            if self.seed is None:
+                raise ValueError(
+                    "IncrementalClusterer needs a fixed seed when subsampling "
+                    "rows; an unseeded reference draws fresh rows per call"
+                )
+            rng = np.random.default_rng(self.seed)
+            self._rows = rng.choice(n_rows, size=self.max_rows, replace=False)
+        else:
+            self._rows = slice(None)
+        y_sub = np.asarray(y)[self._rows]
+        if self.task == "regression":
+            self._y_codes = _discretize_continuous(
+                np.asarray(y_sub).ravel().astype(float), self.n_bins
+            )
+        else:
+            self._y_codes = np.unique(np.asarray(y_sub).ravel(), return_inverse=True)[1]
+
+    def _feature_codes(self, space, fid: int) -> np.ndarray:
+        codes = self._codes.get(fid)
+        if codes is None:
+            column = np.asarray(space.values(fid), dtype=float)[self._rows]
+            codes = (
+                KBinsDiscretizer(n_bins=self.n_bins)
+                .fit_transform(column.reshape(-1, 1))
+                .ravel()
+            )
+            self._codes[fid] = codes
+            self._rel[fid] = discrete_mutual_info(codes, self._y_codes)
+        return codes
+
+    def _pair(self, fa: int, fb: int) -> float:
+        key = (fa, fb)
+        mi = self._pair_mi.get(key)
+        if mi is None:
+            mi = discrete_mutual_info(self._codes[fa], self._codes[fb])
+            self._pair_mi[key] = mi
+        return mi
+
+    def base_distance(self, space, y: np.ndarray, fids: list[int]) -> np.ndarray:
+        """The Eq. 2 summand matrix over ``fids`` (cached per id / pair)."""
+        self._prepare_rows(space.n_samples, y)
+        for f in fids:
+            self._feature_codes(space, f)
+        d = len(fids)
+        relevance = np.array([self._rel[f] for f in fids], dtype=float)
+        redundancy = np.empty((d, d), dtype=float)
+        for i in range(d):
+            for j in range(i, d):
+                redundancy[i, j] = redundancy[j, i] = self._pair(fids[i], fids[j])
+        rel_diff = np.abs(relevance[:, None] - relevance[None, :])
+        return rel_diff / (redundancy + self.varsigma)
+
+    def cluster(self, space, y: np.ndarray, fids: list[int]) -> list[list[int]]:
+        """Cluster the features into groups of *positions* within ``fids``
+        (the same column-index convention as :func:`cluster_features`)."""
+        d = len(fids)
+        if d == 0:
+            raise ValueError("No features to cluster")
+        if d == 1:
+            return [[0]]
+        base = self.base_distance(space, y, fids)
+        if self.distance_threshold == "auto":
+            off_diag = base[~np.eye(d, dtype=bool)]
+            threshold = float(np.median(off_diag))
+        else:
+            threshold = float(self.distance_threshold)
+        return _merge_average_linkage(
+            base, threshold, self.min_clusters, self.max_clusters
+        )

@@ -82,6 +82,11 @@ class FastFTConfig:
     oracle_engine: str = "presort"
     # Worker processes for fold-parallel CV (1 = serial, -1 = all cores).
     cv_jobs: int = 1
+    # Search inner-loop implementation: "arena" (columnar FeatureSpace
+    # arena + incremental state/MI caches + fused estimation passes,
+    # bit-identical to the reference) or "naive" (the seed implementation,
+    # kept as the reference arm of benchmarks/test_search_throughput.py).
+    inner_loop: str = "arena"
 
     # -- ablation toggles (Fig 6) --
     use_performance_predictor: bool = True  # False → FastFT−PP
@@ -130,6 +135,8 @@ class FastFTConfig:
             raise ValueError("seq_model must be lstm, rnn or transformer")
         if self.oracle_engine not in ("naive", "presort"):
             raise ValueError("oracle_engine must be 'naive' or 'presort'")
+        if self.inner_loop not in ("arena", "naive"):
+            raise ValueError("inner_loop must be 'arena' or 'naive'")
         if self.cv_jobs < 1 and self.cv_jobs != -1:
             raise ValueError("cv_jobs must be >= 1 or -1 (all cores)")
 

@@ -19,7 +19,45 @@ from repro.nn.optim import Adam
 from repro.nn.recurrent import pad_token_batch
 from repro.core.predictor import SequenceRegressor
 
-__all__ = ["NoveltyEstimator", "novelty_distance"]
+__all__ = ["EmbeddingLog", "NoveltyEstimator", "novelty_distance"]
+
+
+class EmbeddingLog:
+    """Append-only store of sequence embeddings with O(1) amortized append.
+
+    The session's Fig 14 bookkeeping used to keep a python list and rebuild
+    ``np.array(history)`` on every step — O(steps²) over a run. This keeps
+    the embeddings in one preallocated row-major buffer that doubles on
+    demand; :meth:`view` hands :func:`novelty_distance` a zero-copy
+    ``(count, dim)`` prefix view with the exact bytes the rebuilt array had.
+    """
+
+    def __init__(self) -> None:
+        self._buffer: np.ndarray | None = None
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append(self, embedding: np.ndarray) -> None:
+        embedding = np.asarray(embedding, dtype=float).ravel()
+        if self._buffer is None:
+            self._buffer = np.empty((8, embedding.shape[0]), dtype=float)
+        elif self._count == self._buffer.shape[0]:
+            grown = np.empty(
+                (2 * self._buffer.shape[0], self._buffer.shape[1]), dtype=float
+            )
+            grown[: self._count] = self._buffer
+            self._buffer = grown
+        self._buffer[self._count] = embedding
+        self._count += 1
+
+    def view(self) -> np.ndarray | None:
+        """C-contiguous ``(count, dim)`` view of the collected embeddings
+        (``None`` while empty, matching the session's historical call)."""
+        if self._count == 0:
+            return None
+        return self._buffer[: self._count]
 
 
 def novelty_distance(embedding: np.ndarray, history: np.ndarray | None) -> float:
@@ -97,6 +135,22 @@ class NoveltyEstimator:
         est = self.estimator(tokens, mask).data.ravel()
         tgt = self.target(tokens, mask).data.ravel()
         return (est - tgt) ** 2
+
+    def score_with_embedding(self, tokens: np.ndarray) -> tuple[float, np.ndarray]:
+        """Novelty score and frozen-target embedding from one shared pass.
+
+        :meth:`score` and :meth:`embedding` each ran the frozen target's
+        encoder, so the per-step trigger loop paid three sequence encodes;
+        here the target encoder runs once and feeds both its head (for the
+        distillation gap) and the embedding, which is bit-identical to the
+        two separate calls because ``target(tokens)`` is exactly
+        ``head(encoder(tokens))``.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64).reshape(1, -1)
+        encoded = self.target.encoder(tokens, None)
+        tgt = float(self.target.head(encoded).reshape(-1).data.ravel()[0])
+        est = float(self.estimator(tokens).data.ravel()[0])
+        return (est - tgt) ** 2, encoded.data.ravel()
 
     def embedding(self, tokens: np.ndarray) -> np.ndarray:
         """Frozen-target sequence embedding (stable across training), used

@@ -121,6 +121,16 @@ class PerformancePredictor:
         return float(self.model(np.asarray(tokens, dtype=np.int64)).data.ravel()[0])
 
     def predict_batch(self, sequences: list[np.ndarray]) -> np.ndarray:
+        """φ for several candidate sequences in one padded forward pass.
+
+        The session's trigger loop scores candidates through this entry
+        point. Note the bit-identity boundary: a single-sequence batch is
+        exactly :meth:`predict` (same shapes, all-ones mask), but padding
+        *multiple* sequences together changes the BLAS batch shape and
+        drifts the outputs by a few ULPs — so the deterministic search
+        path only ever batches candidates scored within one decision,
+        never across RNG-ordered steps.
+        """
         tokens, mask = pad_token_batch(sequences)
         return self.model(tokens, mask).data.ravel()
 

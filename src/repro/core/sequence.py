@@ -187,12 +187,35 @@ class FeatureSpace:
 
     Maintains the value matrix, the provenance registry and the live-column
     ordering; supports group-wise crossing (§III-B) and importance pruning.
+
+    Two storage backends share the same semantics (and are proven
+    byte-identical by the property tests):
+
+    - ``"arena"`` (default): one contiguous column-major ``(n_samples,
+      capacity)`` buffer with amortized-doubling growth. Column ``fid``
+      lives at arena slot ``fid``; :meth:`values` is a zero-copy view,
+      :meth:`matrix` is a single vectorized gather, and
+      :meth:`matrix_view` returns a zero-copy F-contiguous view when the
+      requested features are a contiguous id prefix.
+    - ``"dict"``: the original one-1-D-array-per-feature store, kept as the
+      bit-exact reference for tests and the search-throughput benchmark.
+
+    Either way, duplicate detection is O(1) via a derivation-signature
+    count maintained across :meth:`prune` (the seed implementation scanned
+    the whole live set per candidate pair).
     """
 
-    def __init__(self, X: np.ndarray, feature_names: list[str] | None = None) -> None:
+    def __init__(
+        self,
+        X: np.ndarray,
+        feature_names: list[str] | None = None,
+        backend: str = "arena",
+    ) -> None:
         X = np.asarray(X, dtype=float)
         if X.ndim != 2:
             raise ValueError("X must be 2-D")
+        if backend not in ("arena", "dict"):
+            raise ValueError(f"Unknown FeatureSpace backend {backend!r}")
         self.n_input_columns = X.shape[1]
         self.feature_names = (
             list(feature_names)
@@ -201,16 +224,35 @@ class FeatureSpace:
         )
         if len(self.feature_names) != X.shape[1]:
             raise ValueError("feature_names length mismatch")
+        self._backend = backend
+        self._n_samples = X.shape[0]
         self._nodes: dict[int, FeatureNode] = {}
-        self._columns: dict[int, np.ndarray] = {}
+        self._columns: dict[int, np.ndarray] | None = None
+        self._arena: np.ndarray | None = None
+        if backend == "arena":
+            # 2x headroom over the input width bounds the growth slack at a
+            # factor of two of what the dict backend would hold.
+            self._arena = np.empty(
+                (X.shape[0], max(8, 2 * X.shape[1])), dtype=float, order="F"
+            )
+        else:
+            self._columns = {}
         self._live: list[int] = []
+        self._sig_count: dict[tuple[str, tuple[int, ...]], int] = {}
         self._next_fid = 0
         for j in range(X.shape[1]):
             fid = self._allocate(FeatureNode(fid=0, op=None, source_col=j), X[:, j])
-            self._live.append(fid)
+            self._live_append(fid)
         self._original_ids = tuple(self._live)
 
     # -- bookkeeping -----------------------------------------------------------
+
+    def _grow(self, needed: int, n_filled: int) -> None:
+        old = self._arena
+        new_cap = max(needed, 2 * old.shape[1])
+        new = np.empty((old.shape[0], new_cap), dtype=float, order="F")
+        new[:, :n_filled] = old[:, :n_filled]
+        self._arena = new
 
     def _allocate(self, node: FeatureNode, values: np.ndarray) -> int:
         fid = self._next_fid
@@ -218,12 +260,59 @@ class FeatureSpace:
         self._nodes[fid] = FeatureNode(
             fid=fid, op=node.op, children=node.children, source_col=node.source_col
         )
-        self._columns[fid] = sanitize_features(values.reshape(-1, 1)).ravel()
+        column = sanitize_features(values.reshape(-1, 1)).ravel()
+        if self._backend == "arena":
+            if fid >= self._arena.shape[1]:
+                self._grow(fid + 1, n_filled=fid)
+            self._arena[:, fid] = column
+        else:
+            self._columns[fid] = column
         return fid
+
+    def _live_append(self, fid: int) -> None:
+        self._live.append(fid)
+        node = self._nodes[fid]
+        if node.op is not None:
+            key = (node.op, node.children)
+            self._sig_count[key] = self._sig_count.get(key, 0) + 1
+
+    def _rebuild_signatures(self) -> None:
+        sig: dict[tuple[str, tuple[int, ...]], int] = {}
+        for fid in self._live:
+            node = self._nodes[fid]
+            if node.op is not None:
+                key = (node.op, node.children)
+                sig[key] = sig.get(key, 0) + 1
+        self._sig_count = sig
+
+    def __setstate__(self, state: dict) -> None:
+        # Spaces pickled before the arena rewrite carry only the dict store;
+        # adopt them as the "dict" backend so old checkpoints keep working.
+        self.__dict__.update(state)
+        if "_backend" not in state:
+            self._backend = "dict"
+            self._arena = None
+            self._n_samples = (
+                len(next(iter(self._columns.values()))) if self._columns else 0
+            )
+            self._rebuild_signatures()
+
+    @property
+    def backend(self) -> str:
+        return self._backend
 
     @property
     def live_ids(self) -> list[int]:
         return list(self._live)
+
+    @property
+    def live_ids_view(self) -> list[int]:
+        """The internal live-id list without the defensive copy.
+
+        Hot callers (the session's recluster/prune loops) read this instead
+        of :attr:`live_ids`; treat it as read-only.
+        """
+        return self._live
 
     @property
     def original_ids(self) -> tuple[int, ...]:
@@ -235,25 +324,72 @@ class FeatureSpace:
 
     @property
     def n_samples(self) -> int:
-        return len(next(iter(self._columns.values())))
+        return self._n_samples
+
+    def _is_live_prefix(self, fids: list[int]) -> bool:
+        """True when ``fids`` is exactly arena slots ``0..k-1`` in order."""
+        return (
+            self._next_fid >= len(fids)
+            and all(f == i for i, f in enumerate(fids))
+        )
 
     def matrix(self, fids: list[int] | None = None) -> np.ndarray:
-        """Value matrix of the given (default: live) features."""
+        """Value matrix of the given (default: live) features.
+
+        Always a fresh C-contiguous array, byte-identical to
+        ``np.column_stack`` over the per-feature columns (consumers'
+        axis-0 reductions are layout-sensitive at the bit level, so the
+        arena gathers into row-major order before handing the matrix out).
+        """
         fids = self._live if fids is None else fids
-        return np.column_stack([self._columns[f] for f in fids])
+        if self._backend != "arena":
+            return np.column_stack([self._columns[f] for f in fids])
+        if not fids:
+            raise ValueError("matrix() of an empty feature list")
+        if self._is_live_prefix(fids):
+            return self._arena[:, : len(fids)].copy(order="C")
+        # Gather straight into row-major storage: advanced indexing on an
+        # F-order buffer would hand back an F-order result, and consumers'
+        # axis-0 reductions are layout-sensitive at the bit level.
+        out = np.empty((self._n_samples, len(fids)), dtype=float)
+        for j, f in enumerate(fids):
+            if f not in self._nodes:
+                # Match the dict backend: an unallocated fid is a KeyError,
+                # never a silent read of uninitialized arena slots.
+                raise KeyError(f)
+            out[:, j] = self._arena[:, f]
+        return out
+
+    def matrix_view(self, fids: list[int] | None = None) -> np.ndarray:
+        """Read-only value matrix that avoids the row-major copy.
+
+        When ``fids`` is a contiguous id prefix of the arena (the common
+        case before the first prune), this is a zero-copy F-contiguous
+        view of the buffer. Falls back to :meth:`matrix` otherwise.
+        Intended for layout-insensitive consumers (per-column statistics,
+        content hashing) — never mutate it.
+        """
+        fids = self._live if fids is None else fids
+        if self._backend == "arena" and fids and self._is_live_prefix(fids):
+            view = self._arena[:, : len(fids)]
+            view.flags.writeable = False
+            return view
+        return self.matrix(fids)
 
     def values(self, fid: int) -> np.ndarray:
+        if self._backend == "arena":
+            if fid not in self._nodes:
+                raise KeyError(fid)
+            view = self._arena[:, fid]
+            view.flags.writeable = False
+            return view
         return self._columns[fid]
 
     # -- transformation ----------------------------------------------------------
 
     def _is_duplicate(self, op_name: str, children: tuple[int, ...]) -> bool:
         """True when a live feature already carries this exact derivation."""
-        for fid in self._live:
-            node = self._nodes[fid]
-            if node.op == op_name and node.children == children:
-                return True
-        return False
+        return self._sig_count.get((op_name, children), 0) > 0
 
     def apply_unary(self, op_name: str, head_ids: list[int]) -> list[int]:
         """Apply a unary op to each head feature; returns new feature ids.
@@ -267,9 +403,9 @@ class FeatureSpace:
         for h in head_ids:
             if self._is_duplicate(op_name, (h,)):
                 continue
-            values = op(self._columns[h])
+            values = op(self.values(h))
             fid = self._allocate(FeatureNode(fid=0, op=op_name, children=(h,)), values)
-            self._live.append(fid)
+            self._live_append(fid)
             new_ids.append(fid)
         return new_ids
 
@@ -284,11 +420,19 @@ class FeatureSpace:
         """Group-wise crossing: op(h, t) for the |a_h|×|a_t| product.
 
         ``max_new`` caps the fan-out by sampling pairs (the sequence and the
-        feature set would otherwise grow quadratically in cluster size).
+        feature set would otherwise grow quadratically in cluster size); the
+        sampling requires an explicit ``rng`` — an implicit unseeded
+        fallback would silently make seeded searches nondeterministic.
         """
         op = get_operation(op_name)
         if op.arity != 2:
             raise ValueError(f"{op_name} is not binary")
+        if max_new is not None and rng is None:
+            raise ValueError(
+                "apply_binary(max_new=...) samples pairs and requires an explicit "
+                "rng (np.random.Generator); an unseeded fallback would make "
+                "seeded searches silently nondeterministic"
+            )
         commutative = op_name in ("add", "multiply")
         pairs = [(h, t) for h in head_ids for t in tail_ids if h != t]
         if not pairs:
@@ -297,27 +441,30 @@ class FeatureSpace:
             # (a+b) and (b+a) are the same feature; canonicalize and dedup.
             pairs = list(dict.fromkeys((min(h, t), max(h, t)) for h, t in pairs))
         if max_new is not None and len(pairs) > max_new:
-            rng = rng or np.random.default_rng()
             chosen = rng.choice(len(pairs), size=max_new, replace=False)
             pairs = [pairs[i] for i in chosen]
         new_ids = []
         for h, t in pairs:
             if self._is_duplicate(op_name, (h, t)):
                 continue
-            values = op(self._columns[h], self._columns[t])
+            values = op(self.values(h), self.values(t))
             fid = self._allocate(FeatureNode(fid=0, op=op_name, children=(h, t)), values)
-            self._live.append(fid)
+            self._live_append(fid)
             new_ids.append(fid)
         return new_ids
 
     def prune(self, keep_ids: list[int]) -> None:
         """Restrict the live set (original features may also be dropped,
         matching the paper's 'replacing useless features' behaviour); the
-        provenance registry keeps every ancestor so plans stay executable."""
+        provenance registry keeps every ancestor so plans stay executable.
+        The duplicate-signature counts are rebuilt over the surviving set,
+        so :meth:`apply_unary`/:meth:`apply_binary` keep their exact
+        live-only dedup semantics after a prune."""
         keep = [f for f in keep_ids if f in self._nodes]
         if not keep:
             raise ValueError("Cannot prune to an empty feature set")
         self._live = keep
+        self._rebuild_signatures()
 
     # -- traceability --------------------------------------------------------------
 

@@ -32,24 +32,26 @@ from __future__ import annotations
 import pickle
 import time
 from collections import deque
+from contextlib import nullcontext
 
 import numpy as np
 
 from repro.core.agents import CascadingAgents
 from repro.core.callbacks import Callback, CallbackList, VerboseLogger
-from repro.core.clustering import cluster_features
+from repro.core.clustering import IncrementalClusterer, RelevanceCache, cluster_features
 from repro.core.config import FastFTConfig
-from repro.core.novelty import NoveltyEstimator, novelty_distance
+from repro.core.novelty import EmbeddingLog, NoveltyEstimator, novelty_distance
 from repro.core.operations import OPERATION_NAMES, OPERATIONS
 from repro.core.predictor import PerformancePredictor
 from repro.core.result import FastFTResult, StepRecord, TimeBreakdown
 from repro.core.reward import NoveltyWeightSchedule, downstream_reward, pseudo_reward
 from repro.core.sequence import FeatureSpace, TransformationPlan
-from repro.core.state import describe_matrix
+from repro.core.state import StateCache, describe_matrix
 from repro.core.tokens import TokenVocabulary
 from repro.ml.evaluation import TASKS, DownstreamEvaluator, default_model_for_task
 from repro.ml.mutual_info import mutual_info_with_target
 from repro.ml.preprocessing import sanitize_features
+from repro.nn.tensor import no_grad
 
 __all__ = [
     "SearchSession",
@@ -306,10 +308,24 @@ class SearchSession:
         self._pred_window: deque[float] = deque(maxlen=cfg.trigger_window)
         self._nov_window: deque[float] = deque(maxlen=cfg.trigger_window)
 
-        # Fig 14 bookkeeping.
-        self._embedding_history: list[np.ndarray] = []
+        # Fig 14 bookkeeping (preallocated growing buffer; the former
+        # python list cost an O(steps) np.array rebuild per step).
+        self._embedding_history = EmbeddingLog()
         self._seen_expressions: set[str] = set()
         self._unencountered_total = 0
+
+        # Columnar-arena inner loop (cfg.inner_loop == "arena"): per-episode
+        # incremental caches, all bit-identical to the naive reference path.
+        # Subsampled MI clustering can only be cached when the row subsample
+        # is pinned by a seed; an unseeded session falls back to the
+        # reference clustering (the rest of the arena path still applies).
+        self._use_arena = cfg.inner_loop == "arena"
+        self._incremental_clustering = self._use_arena and not (
+            cfg.seed is None and self._X.shape[0] > cfg.mi_max_rows
+        )
+        self._state_cache: StateCache | None = None
+        self._clusterer: IncrementalClusterer | None = None
+        self._relevance_cache: RelevanceCache | None = None
 
         self._global_step = 0
         self._components_trained = False
@@ -351,15 +367,41 @@ class SearchSession:
 
     @staticmethod
     def _cluster_fids(space: FeatureSpace, column_clusters: list[list[int]]) -> list[list[int]]:
-        live = space.live_ids
+        live = space.live_ids_view  # read-only; fresh lists are built below
         return [[live[c] for c in cols] for cols in column_clusters]
 
     def _recluster(
         self, space: FeatureSpace
     ) -> tuple[list[list[int]], np.ndarray, np.ndarray]:
-        cfg = self.config
+        if self._state_cache is not None:
+            # Arena path: per-column stats and MI estimates are cached by
+            # feature id (columns are immutable), so only newly created
+            # features cost O(n_samples) work — bit-identical to the
+            # reference branch below, which is pinned by the determinism
+            # goldens and tests/core/test_incremental_search.py.
+            live = space.live_ids_view
+            if self._clusterer is not None:
+                column_clusters = self._clusterer.cluster(space, self._y, live)
+            else:  # unseeded row subsampling: reference clustering per call
+                column_clusters = self._reference_clusters(sanitize_features(space.matrix()))
+            fid_clusters = self._cluster_fids(space, column_clusters)
+            overall_rep = self._state_cache.describe(live)
+            cluster_reps = np.stack(
+                [self._state_cache.describe(fids) for fids in fid_clusters]
+            )
+            return fid_clusters, overall_rep, cluster_reps
         matrix = sanitize_features(space.matrix())
-        column_clusters = cluster_features(
+        column_clusters = self._reference_clusters(matrix)
+        fid_clusters = self._cluster_fids(space, column_clusters)
+        overall_rep = describe_matrix(matrix)
+        cluster_reps = np.stack(
+            [describe_matrix(space.matrix(fids)) for fids in fid_clusters]
+        )
+        return fid_clusters, overall_rep, cluster_reps
+
+    def _reference_clusters(self, matrix: np.ndarray) -> list[list[int]]:
+        cfg = self.config
+        return cluster_features(
             matrix,
             self._y,
             task=self.task,
@@ -369,21 +411,19 @@ class SearchSession:
             max_rows=cfg.mi_max_rows,
             seed=cfg.seed,
         )
-        fid_clusters = self._cluster_fids(space, column_clusters)
-        overall_rep = describe_matrix(matrix)
-        cluster_reps = np.stack(
-            [describe_matrix(space.matrix(fids)) for fids in fid_clusters]
-        )
-        return fid_clusters, overall_rep, cluster_reps
 
     def _prune(self, space: FeatureSpace) -> None:
         if space.n_features <= self._feature_cap:
             return
-        matrix = sanitize_features(space.matrix())
-        relevance = mutual_info_with_target(
-            matrix, self._y, task=self.task, n_bins=self.config.mi_bins
-        )
-        live = space.live_ids
+        if self._relevance_cache is not None:
+            live = space.live_ids_view
+            relevance = self._relevance_cache.relevance(space, self._y, live)
+        else:
+            matrix = sanitize_features(space.matrix())
+            relevance = mutual_info_with_target(
+                matrix, self._y, task=self.task, n_bins=self.config.mi_bins
+            )
+            live = space.live_ids
         order = np.argsort(-relevance)
         keep = [live[i] for i in order[: self._feature_cap]]
         space.prune(keep)
@@ -410,7 +450,33 @@ class SearchSession:
     # -- the step machine ---------------------------------------------------------
 
     def _begin_episode(self) -> None:
-        self._space = FeatureSpace(self._X, self._feature_names)
+        cfg = self.config
+        self._space = FeatureSpace(
+            self._X,
+            self._feature_names,
+            backend="arena" if self._use_arena else "dict",
+        )
+        if self._use_arena:
+            # Feature ids restart every episode, so the incremental caches
+            # are rebuilt alongside the space they describe.
+            self._state_cache = StateCache(self._space)
+            self._relevance_cache = RelevanceCache(self.task, cfg.mi_bins)
+            self._clusterer = (
+                IncrementalClusterer(
+                    task=self.task,
+                    distance_threshold=cfg.cluster_threshold,
+                    max_clusters=cfg.max_clusters,
+                    n_bins=cfg.mi_bins,
+                    max_rows=cfg.mi_max_rows,
+                    seed=cfg.seed,
+                )
+                if self._incremental_clustering
+                else None
+            )
+        else:
+            self._state_cache = None
+            self._relevance_cache = None
+            self._clusterer = None
         self._body_tokens = []
         self._prev_seq = self._vocab.finalize(self._body_tokens, self.config.max_seq_len)
 
@@ -468,9 +534,22 @@ class SearchSession:
         time_estimation = 0.0
         time_evaluation = 0.0
 
+        # Inference-only forwards skip autograd bookkeeping on the arena
+        # path — same numpy expressions, so outputs are bit-identical; the
+        # naive arm keeps recording graphs, as the seed implementation did.
+        inference = no_grad if self._use_arena else nullcontext
+
         if self._novelty is not None and self._components_trained:
             t1 = time.perf_counter()
-            nov_raw = self._novelty.score(seq)
+            if self._use_arena:
+                # Fused pass: the frozen target encodes the sequence once
+                # for both the distillation gap and the Fig 14 embedding
+                # (bit-identical; the naive arm keeps the two passes).
+                with no_grad():
+                    nov_raw, emb = self._novelty.score_with_embedding(seq)
+            else:
+                nov_raw = self._novelty.score(seq)
+                emb = None
             # Running-std normalization keeps the intrinsic term on the same
             # scale as the performance delta regardless of the orthogonal
             # target's gain (standard RND practice); the raw value feeds the
@@ -480,19 +559,24 @@ class SearchSession:
                 nov = float(np.tanh(nov_raw / scale))
             else:
                 nov = 1.0 if nov_raw > 0 else 0.0
-            emb = self._novelty.embedding(seq)
-            nov_dist = novelty_distance(
-                emb,
-                np.array(self._embedding_history) if self._embedding_history else None,
-            )
+            if emb is None:
+                emb = self._novelty.embedding(seq)
+            nov_dist = novelty_distance(emb, self._embedding_history.view())
             self._embedding_history.append(emb)
             time_estimation += time.perf_counter() - t1
 
         if use_components:
             t1 = time.perf_counter()
-            phi_i = self._predictor.predict(seq)
-            if self._prev_phi is None:
-                self._prev_phi = self._predictor.predict(self._prev_seq)
+            # Candidate scoring goes through the batch entry point (one
+            # padded forward); within a step only same-decision candidates
+            # may share a batch, so the previous sequence — needed once per
+            # episode for the first reward delta — is scored separately.
+            with inference():
+                phi_i = float(self._predictor.predict_batch([seq])[0])
+                if self._prev_phi is None:
+                    self._prev_phi = float(
+                        self._predictor.predict_batch([self._prev_seq])[0]
+                    )
             time_estimation += time.perf_counter() - t1
 
             triggered = self._should_trigger(phi_i, nov_raw)
@@ -727,6 +811,26 @@ class SearchSession:
         self._callbacks = CallbackList()
         if self.config.verbose:
             self._callbacks.append(VerboseLogger())
+        # Checkpoints written before the arena inner loop: adopt their list
+        # of embeddings, default the config field, and resume the current
+        # episode on the reference path (its FeatureSpace is a dict-backend
+        # space without caches); the next episode re-enters the arena path.
+        if not hasattr(self.config, "inner_loop"):
+            self.config.inner_loop = "arena"
+        if isinstance(getattr(self, "_embedding_history", None), list):
+            log = EmbeddingLog()
+            for emb in self._embedding_history:
+                log.append(emb)
+            self._embedding_history = log
+        if "_use_arena" not in state:
+            cfg = self.config
+            self._use_arena = cfg.inner_loop == "arena"
+            self._incremental_clustering = self._use_arena and not (
+                cfg.seed is None and self._X.shape[0] > cfg.mi_max_rows
+            )
+            self._state_cache = None
+            self._relevance_cache = None
+            self._clusterer = None
         # A stop request (time budget, early stopping, user interrupt) is a
         # transient signal to *this* process; resuming a stopped checkpoint
         # means "continue the search", so the flag does not survive. The

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["STATE_DIM", "describe_matrix", "rep_operation"]
+__all__ = ["STATE_DIM", "StateCache", "describe_matrix", "rep_operation"]
 
 STATE_DIM = 49
 
@@ -49,6 +49,79 @@ def describe_matrix(X: np.ndarray) -> np.ndarray:
     summary = _seven_stats(per_column, axis=1)  # (7, 7)
     flat = summary.ravel()
     return np.sign(flat) * np.log1p(np.abs(flat))
+
+
+class StateCache:
+    """Incremental :func:`describe_matrix` over a ``FeatureSpace``.
+
+    Feature columns are immutable once allocated, so their seven per-column
+    statistics never change; this cache computes them once per feature id
+    and reduces the cached ``(7, k)`` block for every subsequent Rep(C) /
+    Rep(F̂) request — per-step state representation drops from
+    O(n_samples x n_features) to O(n_features) after each feature's first
+    appearance.
+
+    Bit-identity notes (pinned by ``tests/test_determinism_golden.py``):
+
+    - numpy's axis-0 reductions take a *sequential* per-column accumulation
+      for C-order matrices with >= 2 columns, so per-column mean/std are
+      independent of which other columns share the matrix — cached values
+      computed from a 2-column batch equal those the seed computed inside
+      the full live matrix.
+    - a 1-column matrix instead reduces along a contiguous axis with
+      numpy's *pairwise* summation, which differs in the last bits; the
+      cache therefore keeps a separate single-column variant for
+      singleton clusters, exactly reproducing ``describe_matrix`` on an
+      ``(n, 1)`` input.
+    - the second-stage reduction runs over the assembled C-order ``(7, k)``
+      block, identical in values and layout to the seed's.
+    """
+
+    def __init__(self, space) -> None:
+        self._space = space
+        self._wide: dict[int, np.ndarray] = {}
+        self._single: dict[int, np.ndarray] = {}
+
+    @staticmethod
+    def _clean(column: np.ndarray) -> np.ndarray:
+        return np.nan_to_num(column, nan=0.0, posinf=1e12, neginf=-1e12)
+
+    def _compute_wide(self, fids: list[int]) -> None:
+        cols = [self._clean(self._space.values(f)) for f in fids]
+        if len(cols) == 1:
+            # Pad to width 2 so the reduction takes the same sequential
+            # per-column path as inside any wider matrix (see class note).
+            batch = np.column_stack([cols[0], cols[0]])
+            self._wide[fids[0]] = np.ascontiguousarray(
+                _seven_stats(batch, axis=0)[:, 0]
+            )
+            return
+        stats = _seven_stats(np.column_stack(cols), axis=0)
+        for i, f in enumerate(fids):
+            self._wide[f] = np.ascontiguousarray(stats[:, i])
+
+    def _single_stats(self, fid: int) -> np.ndarray:
+        cached = self._single.get(fid)
+        if cached is None:
+            column = self._clean(self._space.values(fid)).reshape(-1, 1)
+            cached = self._single[fid] = _seven_stats(column, axis=0)
+        return cached
+
+    def describe(self, fids: list[int]) -> np.ndarray:
+        """49-dim state vector of the features, bit-identical to
+        ``describe_matrix(space.matrix(fids))`` on sanitized columns."""
+        if not fids:
+            raise ValueError("Empty matrix has no state representation")
+        if len(fids) == 1:
+            per_column = self._single_stats(fids[0])
+        else:
+            missing = [f for f in fids if f not in self._wide]
+            if missing:
+                self._compute_wide(missing)
+            per_column = np.stack([self._wide[f] for f in fids], axis=1)
+        summary = _seven_stats(per_column, axis=1)
+        flat = summary.ravel()
+        return np.sign(flat) * np.log1p(np.abs(flat))
 
 
 def rep_operation(op_index: int, n_ops: int) -> np.ndarray:

@@ -72,11 +72,19 @@ class EvaluationCache:
 
     @staticmethod
     def _digest_array(arr: np.ndarray) -> bytes:
-        arr = np.ascontiguousarray(arr)
+        # Keys are derived from the row-major bytes, so logically equal
+        # matrices hash identically whatever their layout. C-contiguous
+        # inputs — e.g. the arena FeatureSpace's matrix() gathers — are
+        # hashed straight from the buffer via the memoryview, skipping the
+        # tobytes() copy the seed implementation paid on every signature;
+        # other layouts pay exactly one ascontiguousarray copy (the seed
+        # paid that copy *plus* tobytes).
         h = hashlib.sha1()
         h.update(str(arr.dtype).encode())
         h.update(str(arr.shape).encode())
-        h.update(arr.tobytes())
+        if not arr.flags.c_contiguous:
+            arr = np.ascontiguousarray(arr)
+        h.update(arr.data)
         return h.digest()
 
     def signature(self, X: np.ndarray, y: np.ndarray, fingerprint: bytes = b"") -> str:

@@ -9,11 +9,32 @@ operand's shape. This is the full set of primitives the paper's models need
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Iterable
 
 import numpy as np
 
-__all__ = ["Tensor", "concat", "stack", "softmax", "log_softmax"]
+__all__ = ["Tensor", "concat", "stack", "softmax", "log_softmax", "no_grad"]
+
+_GRAD_ENABLED = True
+
+
+@contextmanager
+def no_grad():
+    """Disable graph construction inside the block (inference fast path).
+
+    Every forward value is computed by exactly the same numpy expressions —
+    only the per-op parent bookkeeping and backward closures are skipped —
+    so outputs are bit-identical to a recording forward pass; calling
+    ``backward()`` on a tensor produced inside the block raises instead of
+    silently yielding zero gradients."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -46,6 +67,8 @@ class Tensor:
         parents: Iterable["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
+        if not _GRAD_ENABLED:
+            return Tensor(data)
         parents = tuple(p for p in parents if isinstance(p, Tensor))
         out = Tensor(data, requires_grad=any(p.requires_grad for p in parents))
         if out.requires_grad:

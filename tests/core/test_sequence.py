@@ -94,6 +94,140 @@ class TestFeatureSpace:
         with pytest.raises(ValueError):
             FeatureSpace(rng.normal(size=(10, 3)), ["only", "two"])
 
+    def test_binary_max_new_requires_explicit_rng(self, space):
+        """Regression: the seed fell back to an *unseeded* generator when a
+        caller forgot rng, silently derandomizing the pair sampling."""
+        fs, _ = space
+        with pytest.raises(ValueError, match="rng"):
+            fs.apply_binary("add", [0, 1, 2], [0, 1, 2], max_new=3)
+        # Even when the cap would not bind, the contract is uniform.
+        with pytest.raises(ValueError, match="rng"):
+            fs.apply_binary("add", [0], [1], max_new=99)
+        # Without sampling no generator is needed.
+        assert fs.apply_binary("add", [0], [1])
+
+    def test_unknown_backend_rejected(self, rng):
+        with pytest.raises(ValueError, match="backend"):
+            FeatureSpace(rng.normal(size=(5, 2)), backend="sparse")
+
+
+class TestArenaBackend:
+    """The columnar arena must behave exactly like the dict reference."""
+
+    @staticmethod
+    def _pair(rng, n=40, d=2):
+        X = rng.normal(size=(n, d))
+        return FeatureSpace(X, backend="arena"), FeatureSpace(X, backend="dict")
+
+    def test_growth_across_multiple_doublings(self, rng):
+        arena, reference = self._pair(rng)
+        start_capacity = arena._arena.shape[1]
+        for i in range(40):  # 4 -> 8 -> 16 -> 32 -> 64 slot growths
+            fid = arena.apply_unary("tanh", [i])[0]
+            assert reference.apply_unary("tanh", [i])[0] == fid
+        assert arena._arena.shape[1] > 4 * start_capacity
+        assert arena.matrix().tobytes() == reference.matrix().tobytes()
+        # Growth must not disturb previously handed-out column views.
+        assert np.array_equal(arena.values(0), reference.values(0))
+
+    def test_prune_then_apply_reuses_cleanly(self, rng):
+        arena, reference = self._pair(rng, d=4)
+        for fs in (arena, reference):
+            fs.apply_unary("square", [0, 1, 2])
+            fs.prune([5, 1, 4])  # non-prefix, reordered live set
+            fs.apply_binary("multiply", [5], [1])
+            fs.apply_unary("log", [4])
+        assert arena.live_ids == reference.live_ids
+        assert arena.matrix().tobytes() == reference.matrix().tobytes()
+        # A live derivation is still deduped after the prune shuffle...
+        assert arena.apply_binary("multiply", [5], [1]) == []
+        assert reference.apply_binary("multiply", [5], [1]) == []
+        # ...and matrices stay aligned after further growth on reused state.
+        for fs in (arena, reference):
+            fs.apply_unary("tanh", [fs.live_ids_view[-1]])
+        assert arena.matrix().tobytes() == reference.matrix().tobytes()
+
+    def test_duplicate_signatures_track_prune(self, rng):
+        arena, _ = self._pair(rng)
+        first = arena.apply_unary("square", [0])
+        assert arena.apply_unary("square", [0]) == []  # live duplicate skipped
+        arena.prune([0, 1])
+        again = arena.apply_unary("square", [0])  # pruned -> re-derivable
+        assert len(again) == 1 and again != first
+        assert arena.apply_unary("square", [0]) == []
+
+    def test_snapshot_after_prune_plan_equivalence(self, rng):
+        X = rng.normal(size=(30, 3))
+        arena = FeatureSpace(X, backend="arena")
+        reference = FeatureSpace(X, backend="dict")
+        for fs in (arena, reference):
+            mid = fs.apply_unary("square", [0])[0]
+            top = fs.apply_binary("add", [mid], [1])[0]
+            fs.prune([top, 2])
+        assert arena.snapshot().to_json() == reference.snapshot().to_json()
+        assert (
+            arena.snapshot().apply(X).tobytes()
+            == reference.snapshot().apply(X).tobytes()
+        )
+
+    def test_matrix_view_zero_copy_on_prefix(self, rng):
+        arena, _ = self._pair(rng, d=3)
+        view = arena.matrix_view()
+        assert view.base is arena._arena
+        assert view.flags.f_contiguous and not view.flags.writeable
+        assert view.tobytes("C") == arena.matrix().tobytes()
+        arena.prune([2, 0])
+        gathered = arena.matrix_view()  # non-prefix: falls back to a copy
+        assert gathered.flags.c_contiguous
+        assert gathered.tobytes() == arena.matrix().tobytes()
+
+    def test_values_read_only_and_keyerror(self, rng):
+        arena, _ = self._pair(rng)
+        column = arena.values(1)
+        with pytest.raises(ValueError):
+            column[0] = 0.0
+        with pytest.raises(KeyError):
+            arena.values(99)
+
+    def test_matrix_rejects_unallocated_fids(self, rng):
+        """Regression: the gather path must never read uninitialized arena
+        slots for a never-allocated fid (dict backend raises KeyError)."""
+        arena, reference = self._pair(rng, d=3)  # capacity 8, fids 0-2 live
+        for fs in (arena, reference):
+            with pytest.raises(KeyError):
+                fs.matrix([0, 5])  # inside capacity, never allocated
+            with pytest.raises((KeyError, IndexError)):
+                fs.matrix([999])
+            with pytest.raises(KeyError):
+                fs.matrix_view([0, 5])
+
+    def test_n_samples_cached_at_construction(self, rng):
+        arena, reference = self._pair(rng, n=17)
+        assert arena.n_samples == reference.n_samples == 17
+
+    def test_pickle_roundtrip_and_legacy_state_migration(self, rng):
+        import pickle
+
+        arena, reference = self._pair(rng, d=3)
+        arena.apply_unary("square", [0])
+        restored = pickle.loads(pickle.dumps(arena))
+        assert restored.matrix().tobytes() == arena.matrix().tobytes()
+        assert restored.backend == "arena"
+        # A pre-arena pickle carries only the dict store; __setstate__
+        # adopts it as the dict backend and rebuilds the signature counts.
+        reference.apply_unary("square", [0])
+        legacy_state = {
+            k: v
+            for k, v in reference.__dict__.items()
+            if k not in ("_backend", "_arena", "_n_samples", "_sig_count")
+        }
+        migrated = FeatureSpace.__new__(FeatureSpace)
+        migrated.__setstate__(legacy_state)
+        assert migrated.backend == "dict"
+        assert migrated.n_samples == reference.n_samples
+        assert migrated.matrix().tobytes() == reference.matrix().tobytes()
+        assert migrated._is_duplicate("square", (0,))
+
 
 class TestTransformationPlan:
     def test_snapshot_reproduces_matrix(self, space):

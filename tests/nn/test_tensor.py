@@ -203,3 +203,38 @@ class TestCompositeFunctions:
             return ((t.tanh() * t).sigmoid() + t.exp().log()).mean()
 
         check_gradient(build, x0, atol=1e-5)
+
+
+class TestNoGrad:
+    """no_grad(): identical forward bits, no graph, restored on exit."""
+
+    def test_forward_bits_identical_and_graph_skipped(self, rng):
+        from repro.nn.tensor import no_grad
+
+        x0 = rng.normal(size=(3, 4))
+        w0 = rng.normal(size=(4, 2))
+        recorded = (Tensor(x0, requires_grad=True) @ Tensor(w0)).tanh().mean()
+        with no_grad():
+            free = (Tensor(x0, requires_grad=True) @ Tensor(w0)).tanh().mean()
+        assert free.data.tobytes() == recorded.data.tobytes()
+        assert not free.requires_grad
+        with pytest.raises(RuntimeError):
+            free.backward()
+
+    def test_flag_restored_even_on_error(self, rng):
+        from repro.nn.tensor import no_grad
+
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        t = Tensor(rng.normal(size=3), requires_grad=True) * 2.0
+        assert t.requires_grad  # graph construction is back on
+
+    def test_nesting(self, rng):
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            with no_grad():
+                pass
+            inner = Tensor(rng.normal(size=3), requires_grad=True) * 2.0
+            assert not inner.requires_grad

@@ -131,6 +131,69 @@ def test_plan_json_roundtrip_is_lossless(data):
     assert restored.apply(X).tobytes() == plan.apply(X).tobytes()
 
 
+# -- arena FeatureSpace: byte-identical to the dict reference ------------------
+
+
+@SETTINGS
+@given(data=st.data())
+def test_arena_matrix_byte_identical_to_column_stack_reference(data):
+    """Drive an arena-backed and a dict-backed space through the same
+    random grow/prune program: every matrix() gather must be byte-identical
+    to the naive per-column ``np.column_stack`` reference, across arena
+    doublings and non-prefix live sets."""
+    n = data.draw(st.integers(5, 40), label="rows")
+    d = data.draw(st.integers(1, 4), label="cols")
+    seed = data.draw(st.integers(0, 2**32 - 1), label="seed")
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d)) * data.draw(
+        st.sampled_from([1e-3, 1.0, 1e4]), label="scale"
+    )
+    arena = FeatureSpace(X, backend="arena")
+    reference = FeatureSpace(X, backend="dict")
+    for _ in range(data.draw(st.integers(1, 6), label="steps")):
+        op = data.draw(st.sampled_from(OPERATIONS))
+        live = reference.live_ids
+        heads = data.draw(
+            st.lists(st.sampled_from(live), min_size=1, max_size=3, unique=True),
+            label="heads",
+        )
+        if op.arity == 1:
+            new_a = arena.apply_unary(op.name, heads)
+            new_r = reference.apply_unary(op.name, heads)
+        else:
+            tails = data.draw(
+                st.lists(st.sampled_from(live), min_size=1, max_size=3, unique=True),
+                label="tails",
+            )
+            # Identical pair sampling on both sides: same seeded stream.
+            new_a = arena.apply_binary(
+                op.name, heads, tails, max_new=4, rng=np.random.default_rng(seed)
+            )
+            new_r = reference.apply_binary(
+                op.name, heads, tails, max_new=4, rng=np.random.default_rng(seed)
+            )
+        assert new_a == new_r
+        if data.draw(st.booleans(), label="prune"):
+            keep = data.draw(
+                st.lists(
+                    st.sampled_from(reference.live_ids),
+                    min_size=1,
+                    max_size=reference.n_features,
+                    unique=True,
+                ),
+                label="keep",
+            )
+            arena.prune(keep)
+            reference.prune(keep)
+        assert arena.live_ids == reference.live_ids
+        expected = np.column_stack([reference.values(f) for f in reference.live_ids])
+        produced = arena.matrix()
+        assert produced.flags.c_contiguous
+        assert produced.tobytes() == expected.tobytes()
+        assert arena.matrix_view().tobytes("C") == expected.tobytes()
+    assert arena.snapshot().to_json() == reference.snapshot().to_json()
+
+
 # -- cache signature: equal content <=> equal keys -----------------------------
 
 matrices = st.integers(1, 12).flatmap(
@@ -157,6 +220,10 @@ def test_signature_equal_arrays_equal_keys(X, fingerprint):
     # A non-contiguous view with the same logical content still matches.
     doubled = np.ascontiguousarray(np.repeat(X, 2, axis=1))[:, ::2]
     assert cache.signature(doubled, y, fingerprint) == key
+    # So do F-order copies (e.g. arena matrix_view slices): keys are
+    # derived from row-major bytes whatever the input layout, which is
+    # what lets the C-contiguous zero-copy fast path share the key space.
+    assert cache.signature(np.asfortranarray(X), y, fingerprint) == key
 
 
 @SETTINGS
