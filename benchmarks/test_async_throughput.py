@@ -1,0 +1,210 @@
+"""Async-oracle throughput bench — serial vs overlapped downstream CV.
+
+Table II's breakdown says downstream evaluation dominates FastFT's wall
+clock; the serial arm pays ``optimization + estimation + evaluation`` as a
+straight sum because every triggered CV runs inline. The async oracle
+(``oracle_mode="async"``) submits triggered evaluations to worker
+processes and keeps stepping on the predictor's φ estimates, so with
+enough cores the wall-clock floor drops toward
+``max(evaluation, optimization + estimation)`` — the buckets overlap
+instead of adding.
+
+This benchmark runs the same seeded search three ways:
+
+- ``serial``      — the reference arm; its bucket sum is the baseline,
+- ``async-inline``— ``oracle_workers=0``, the arm that *defines* the
+  async trajectory (deferral without concurrency),
+- ``async-pool``  — real workers; must reproduce the inline arm
+  bit-for-bit (the determinism contract) while beating the serial sum.
+
+The oracle is the real cross-validated evaluator padded to a per-call
+wall floor, modeling the paper's expensive-oracle regime at smoke scale;
+the padded portion parallelizes across workers exactly like real fold
+compute. Timing notes: wall-time ratio, contention-sensitive
+(``@pytest.mark.serial``). The identity assertion runs unconditionally;
+the overlap floor (pool wall <= 0.75x the serial bucket sum per episode)
+only holds when the workers have real cores, so on fewer than 4 cores the
+report carries an explicit ``skipped: n_cores=N`` line instead of a
+misleading ratio.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.ml.evaluation import DownstreamEvaluator
+
+EVAL_FLOOR = 0.25  # seconds per downstream call (smoke); models Table II's regime
+
+
+class _PaddedOracle:
+    """Real CV with an enforced per-call wall floor.
+
+    Scores are exactly the wrapped evaluator's, so trajectories are real;
+    only the *cost* is floored, which keeps the evaluation bucket dominant
+    at smoke scale the way full-size CV is at paper scale.
+    """
+
+    def __init__(self, inner: DownstreamEvaluator, floor: float) -> None:
+        self._inner = inner
+        self._floor = floor
+
+    @property
+    def task(self) -> str:
+        return self._inner.task
+
+    @property
+    def n_calls(self) -> int:
+        return self._inner.n_calls
+
+    @property
+    def total_time(self) -> float:
+        return self._inner.total_time
+
+    def reset_counters(self) -> None:
+        self._inner.reset_counters()
+
+    def for_worker(self) -> "_PaddedOracle":
+        return _PaddedOracle(self._inner.for_worker(), self._floor)
+
+    def __call__(self, X: np.ndarray, y: np.ndarray) -> float:
+        start = time.perf_counter()
+        score = self._inner(X, y)
+        pad = self._floor - (time.perf_counter() - start)
+        if pad > 0:
+            time.sleep(pad)
+        return score
+
+    def evaluate(self, X: np.ndarray, y: np.ndarray) -> float:
+        return self(X, y)
+
+
+def _async_problem(n: int = 400, d: int = 6):
+    rng = np.random.default_rng(23)
+    X = rng.normal(size=(n, d))
+    y = (X[:, 0] * X[:, 1] + 0.5 * X[:, 2] > 0).astype(int)
+    return X, y
+
+
+def _async_config(profile) -> dict:
+    smoke = profile.name == "smoke"
+    steps = 6 if smoke else 8
+    return dict(
+        episodes=4 if smoke else 5,
+        steps_per_episode=steps,
+        cold_start_episodes=1,
+        # No per-episode refits: retraining is an episode-boundary cost
+        # identical in every arm; this ratio isolates the overlap win.
+        retrain_every_episodes=0,
+        component_epochs=2,
+        trigger_warmup=2,
+        # Trigger often (top-60% predicted performance) so several
+        # evaluations are in flight per reconcile window.
+        alpha=60.0,
+        cv_splits=3,
+        rf_estimators=6 if smoke else profile.rf_estimators,
+        max_clusters=3,
+        mi_max_rows=128,
+        seed=9,
+        # Reconcile once per episode: the widest window the determinism
+        # contract allows without crossing a retrain boundary.
+        reconcile_every_k=steps,
+    )
+
+
+def _evaluator():
+    return DownstreamEvaluator("classification", n_splits=3, seed=0)
+
+
+def _deterministic_view(result) -> list:
+    return [r.deterministic_dict() for r in result.history]
+
+
+@pytest.mark.serial
+def test_async_throughput(profile, save_report):
+    cpu = os.cpu_count() or 1
+    n_workers = min(4, cpu)
+    X, y = _async_problem()
+    cfg = _async_config(profile)
+    episodes = cfg["episodes"]
+
+    def timed_run(**overrides):
+        run_cfg = dict(cfg, **overrides)
+        evaluator = _PaddedOracle(_evaluator(), EVAL_FLOOR)
+        start = time.perf_counter()
+        result = api.search(X, y, "classification", evaluator=evaluator, **run_cfg)
+        return result, time.perf_counter() - start
+
+    def measure_and_report() -> float:
+        serial, serial_t = timed_run(oracle_mode="serial")
+        inline, inline_t = timed_run(oracle_mode="async", oracle_workers=0)
+        pooled, pooled_t = timed_run(oracle_mode="async", oracle_workers=n_workers)
+
+        buckets = serial.time  # Table II's per-run seconds
+        bucket_sum = buckets.overall
+        overlap_floor = max(buckets.evaluation, buckets.optimization + buckets.estimation)
+        ratio = pooled_t / bucket_sum if bucket_sum > 0 else float("inf")
+
+        identical = (
+            pooled.plan.to_json() == inline.plan.to_json()
+            and repr(pooled.base_score) == repr(inline.base_score)
+            and repr(pooled.best_score) == repr(inline.best_score)
+            and _deterministic_view(pooled) == _deterministic_view(inline)
+        )
+
+        if cpu < 4:
+            ratio_line = (
+                f"overlap: skipped: n_cores={cpu} (the 0.75x floor needs >= 4 "
+                f"cores; async-pool == async-inline bit-identical: {identical})"
+            )
+        else:
+            ratio_line = (
+                f"overlap: async-pool wall = {ratio:.2f}x the serial bucket sum "
+                f"(target <= 0.75x; async-pool == async-inline bit-identical: "
+                f"{identical})"
+            )
+        lines = [
+            "Async-oracle throughput — serial bucket sum vs overlapped evaluation",
+            f"problem: {X.shape[0]} x {X.shape[1]} (binary classification), "
+            f"{episodes} episodes x {cfg['steps_per_episode']} steps, "
+            f"oracle floor {EVAL_FLOOR:.2f}s/call, {n_workers} workers on "
+            f"{cpu} core(s)",
+            f"serial buckets (s): optimization {buckets.optimization:.3f}  "
+            f"estimation {buckets.estimation:.3f}  evaluation {buckets.evaluation:.3f}  "
+            f"sum {bucket_sum:.3f}",
+            f"perfect-overlap floor: max(eval, opt+est) = {overlap_floor:.3f}s "
+            f"({overlap_floor / episodes:.3f} s/episode)",
+            f"{'arm':14s} {'seconds':>9s} {'s/episode':>10s} {'real evals':>11s}",
+            f"{'serial':14s} {serial_t:9.3f} {serial_t / episodes:10.3f} "
+            f"{serial.n_downstream_calls:11d}",
+            f"{'async-inline':14s} {inline_t:9.3f} {inline_t / episodes:10.3f} "
+            f"{inline.n_downstream_calls:11d}",
+            f"{'async-pool':14s} {pooled_t:9.3f} {pooled_t / episodes:10.3f} "
+            f"{pooled.n_downstream_calls:11d}",
+            ratio_line,
+        ]
+        save_report("async_throughput", "\n".join(lines))
+        # The hard guarantee at any core count: worker timing never leaks
+        # into the trajectory — the pool reproduces the inline reference.
+        assert identical
+        return ratio
+
+    ratio = measure_and_report()
+    if cpu < 4:
+        pytest.skip(
+            f"skipped: n_cores={cpu} — the async overlap floor needs >= 4 cores "
+            "(identity checks above ran; the report records the skip)"
+        )
+    # Report saved before the floor is asserted; one retry on fresh timings
+    # guards against background load landing on one arm (fig10 flake mode).
+    if ratio > 0.75:
+        ratio = measure_and_report()
+    assert ratio <= 0.75, (
+        f"async oracle overlap too weak: pool wall = {ratio:.2f}x the serial "
+        f"bucket sum with {n_workers} workers on {cpu} cores"
+    )

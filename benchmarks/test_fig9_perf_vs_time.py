@@ -28,7 +28,10 @@ def test_fig9_perf_vs_time(benchmark, profile, save_report):
             profile,
             seed=0,
             datasets=["openml_589"],
-            methods=["rfg", "erg", "lda", "openfe", "caafe", "grfg", "fastft", "fastft_no_pp"],
+            methods=[
+                "rfg", "erg", "lda", "openfe", "caafe", "grfg",
+                "fastft", "fastft_no_pp", "fastft_async",
+            ],
         ),
         rounds=1,
         iterations=1,
@@ -38,8 +41,12 @@ def test_fig9_perf_vs_time(benchmark, profile, save_report):
     points = data["points"]["openml_589"]
     _, fast_score = points["fastft"]
     _, nopp_score = points["fastft_no_pp"]
+    _, async_score = points["fastft_async"]
     # Comparable quality with and without per-step downstream evaluation.
     assert fast_score >= nopp_score - 0.1
+    # The async arm steps on estimates between reconciles but lands every
+    # real score; its quality must stay comparable too.
+    assert async_score >= fast_score - 0.1
     # The CAAFE point carries its simulated LLM latency.
     assert points["caafe"][0] > points["erg"][0]
 

@@ -92,6 +92,10 @@ def _search_config(args: argparse.Namespace):
         rf_estimators=args.rf_estimators,
         oracle_engine=args.oracle_engine,
         cv_jobs=args.cv_jobs,
+        oracle_mode=args.oracle_mode,
+        reconcile_every_k=args.reconcile_every_k,
+        oracle_workers=args.oracle_workers,
+        oracle_timeout=args.oracle_timeout,
         seed=args.seed,
         verbose=args.verbose,
     )
@@ -421,6 +425,36 @@ def _add_search_flags(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="worker processes for fold-parallel cross-validation "
         "(1 = serial, -1 = all cores; default: %(default)s)",
+    )
+    parser.add_argument(
+        "--oracle-mode",
+        choices=["serial", "async"],
+        default="serial",
+        help="'async' defers triggered downstream evaluations to worker "
+        "processes and keeps stepping on predictor estimates; a pinned "
+        "reconcile schedule keeps the trajectory deterministic "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--reconcile-every-k",
+        type=int,
+        default=4,
+        help="async mode: land pending real scores every K global steps "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--oracle-workers",
+        type=int,
+        default=2,
+        help="async mode: evaluation worker processes (0 = inline reference "
+        "arm, -1 = all cores; default: %(default)s)",
+    )
+    parser.add_argument(
+        "--oracle-timeout",
+        type=float,
+        default=None,
+        help="async mode: seconds before a hung evaluation is retried and "
+        "then degraded to its predictor estimate (default: no timeout)",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--verbose", action="store_true")

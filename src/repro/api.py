@@ -22,7 +22,14 @@ callback wiring. Any :class:`~repro.core.config.FastFTConfig` field can be
 overridden by keyword — including the oracle knobs
 (``api.search(X, y, oracle_engine="naive", cv_jobs=-1)``), which select
 the downstream forest's split engine (presort and naive are bit-identical;
-presort is faster) and fold-parallel cross-validation.
+presort is faster) and fold-parallel cross-validation, and the async
+oracle (``api.search(X, y, oracle_mode="async", oracle_workers=4,
+reconcile_every_k=4)``), which overlaps triggered downstream evaluations
+with the search loop: steps advance on predictor estimates while worker
+processes run the real CV, and scores land at schedule-pinned reconcile
+points so the trajectory is deterministic for a given
+``reconcile_every_k`` — bit-identical to the ``oracle_workers=0`` inline
+reference arm at any pool size (see :mod:`repro.core.async_oracle`).
 
 The :class:`EvaluationCache` (re-exported from :mod:`repro.ml.cache`)
 attacks the *evaluation* bucket of the paper's Table II time breakdown:

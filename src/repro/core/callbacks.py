@@ -7,6 +7,11 @@ A callback receives every lifecycle event of a search session:
 - ``on_step(session, record)`` — one exploration step finished;
 - ``on_real_evaluation(session, record)`` — the step invoked the downstream
   oracle (cold start, adaptive trigger, or the −PP ablation);
+- ``on_reconcile(session, landed, degraded)`` — an async-oracle reconcile
+  point drained its pending evaluations: ``landed`` real scores arrived,
+  ``degraded`` submissions fell back to their predictor estimates
+  (``oracle_mode="async"`` only — deferred steps never fire
+  ``on_real_evaluation``);
 - ``on_retrain(session, episode, stage)`` — φ/ψ were (re)fitted; ``stage`` is
   ``"cold_start"`` for the Algorithm 1 hand-off and ``"fine_tune"`` after;
 - ``on_episode_end(session, episode)`` — the episode's last step finished;
@@ -58,6 +63,9 @@ class Callback:
     def on_real_evaluation(self, session: "SearchSession", record: "StepRecord") -> None:
         """Called after steps that ran the expensive downstream oracle."""
 
+    def on_reconcile(self, session: "SearchSession", landed: int, degraded: int) -> None:
+        """Called after an async reconcile point drained pending evaluations."""
+
     def on_retrain(self, session: "SearchSession", episode: int, stage: str) -> None:
         """Called after φ/ψ training; ``stage`` is ``cold_start`` or ``fine_tune``."""
 
@@ -93,6 +101,10 @@ class CallbackList(Callback):
         for cb in self.callbacks:
             cb.on_real_evaluation(session, record)
 
+    def on_reconcile(self, session, landed, degraded) -> None:
+        for cb in self.callbacks:
+            cb.on_reconcile(session, landed, degraded)
+
     def on_retrain(self, session, episode, stage) -> None:
         for cb in self.callbacks:
             cb.on_retrain(session, episode, stage)
@@ -114,6 +126,13 @@ class VerboseLogger(Callback):
 
     def _print(self, message: str) -> None:
         print(message, file=self._stream if self._stream is not None else sys.stdout)
+
+    def on_reconcile(self, session, landed, degraded) -> None:
+        if degraded:
+            self._print(
+                f"[FastFT] reconcile @ step {session.global_step}: "
+                f"{landed} real score(s) landed, {degraded} degraded to estimates"
+            )
 
     def on_retrain(self, session, episode, stage) -> None:
         label = "cold-start training" if stage == "cold_start" else "fine-tuning"

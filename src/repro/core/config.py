@@ -87,6 +87,21 @@ class FastFTConfig:
     # bit-identical to the reference) or "naive" (the seed implementation,
     # kept as the reference arm of benchmarks/test_search_throughput.py).
     inner_loop: str = "arena"
+    # Oracle scheduling: "serial" runs triggered evaluations inside the
+    # step (the paper's timeline and the pinned GOLDEN_DIGESTS arm);
+    # "async" defers them to an AsyncOracle pool while the search advances
+    # on φ estimates, reconciling every `reconcile_every_k` global steps
+    # (a *different* trajectory with its own goldens — see
+    # repro.core.async_oracle for the determinism contract).
+    oracle_mode: str = "serial"
+    reconcile_every_k: int = 4
+    # AsyncOracle pool size (0 = inline reference arm, -1 = all cores),
+    # per-attempt deadline in seconds (None = none) and how many times a
+    # crashed/timed-out evaluation is retried before degrading to the
+    # predictor-estimated score.
+    oracle_workers: int = 2
+    oracle_timeout: float | None = None
+    oracle_retries: int = 1
 
     # -- ablation toggles (Fig 6) --
     use_performance_predictor: bool = True  # False → FastFT−PP
@@ -139,6 +154,16 @@ class FastFTConfig:
             raise ValueError("inner_loop must be 'arena' or 'naive'")
         if self.cv_jobs < 1 and self.cv_jobs != -1:
             raise ValueError("cv_jobs must be >= 1 or -1 (all cores)")
+        if self.oracle_mode not in ("serial", "async"):
+            raise ValueError("oracle_mode must be 'serial' or 'async'")
+        if self.reconcile_every_k < 1:
+            raise ValueError("reconcile_every_k must be >= 1")
+        if self.oracle_workers < 0 and self.oracle_workers != -1:
+            raise ValueError("oracle_workers must be >= 0 or -1 (all cores)")
+        if self.oracle_timeout is not None and self.oracle_timeout <= 0:
+            raise ValueError("oracle_timeout must be positive or None")
+        if self.oracle_retries < 0:
+            raise ValueError("oracle_retries must be >= 0")
 
     def resolved_max_features(self, n_original: int) -> int:
         if self.max_features is not None:

@@ -131,9 +131,10 @@ class NoveltyEstimator:
         return self.raw_error(tokens) ** 2
 
     def score_batch(self, sequences: list[np.ndarray]) -> np.ndarray:
-        tokens, mask = pad_token_batch(sequences)
-        est = self.estimator(tokens, mask).data.ravel()
-        tgt = self.target(tokens, mask).data.ravel()
+        """Batched novelty scores, bit-identical per row to :meth:`score`
+        (masked exact encode — see :meth:`SequenceRegressor.infer_batch`)."""
+        est = self.estimator.infer_batch(sequences)
+        tgt = self.target.infer_batch(sequences)
         return (est - tgt) ** 2
 
     def score_with_embedding(self, tokens: np.ndarray) -> tuple[float, np.ndarray]:

@@ -183,6 +183,9 @@ class _EventRelay(Callback):
     def on_real_evaluation(self, session, record) -> None:
         self._emit("real_evaluation", session, record)
 
+    def on_reconcile(self, session, landed, degraded) -> None:
+        self._emit("reconcile", session, (landed, degraded))
+
     def on_retrain(self, session, episode, stage) -> None:
         self._emit("retrain", session, (episode, stage))
 
@@ -215,6 +218,8 @@ class _EventPump(threading.Thread):
             sink.on_step(view, arg)
         elif event == "real_evaluation":
             sink.on_real_evaluation(view, arg)
+        elif event == "reconcile":
+            sink.on_reconcile(view, arg[0], arg[1])
         elif event == "retrain":
             sink.on_retrain(view, arg[0], arg[1])
         elif event == "episode_end":

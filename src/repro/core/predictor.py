@@ -16,7 +16,7 @@ from repro.nn.layers import Linear, ReLU, Sequential
 from repro.nn.losses import mse_loss
 from repro.nn.module import Module
 from repro.nn.optim import Adam
-from repro.nn.recurrent import LSTMEncoder, RNNEncoder, pad_token_batch
+from repro.nn.recurrent import LSTMEncoder, RNNEncoder, _rowwise_matmul, pad_token_batch
 from repro.nn.tensor import Tensor
 
 __all__ = ["SequenceRegressor", "PerformancePredictor", "make_encoder"]
@@ -74,6 +74,35 @@ class SequenceRegressor(Module):
         """Detached sequence embedding (used for novelty distance, Fig 14)."""
         return self.encoder(tokens, mask).data
 
+    def encode_batch_exact(self, sequences: list[np.ndarray]) -> np.ndarray:
+        """Detached ``(B, hidden)`` encodings, bit-identical per row to
+        ``encode(seq)`` — recurrent encoders run one masked exact pass,
+        the Transformer (no exact batch kernel) falls back to the loop."""
+        sequences = [np.asarray(s, dtype=np.int64) for s in sequences]
+        if hasattr(self.encoder, "encode_batch"):
+            return self.encoder.encode_batch(sequences)
+        return np.vstack([self.encoder(s).data for s in sequences])
+
+    def infer_batch(self, sequences: list[np.ndarray]) -> np.ndarray:
+        """Batched inference scores ``(B,)``, bit-identical per row to
+        ``float(forward(seq).data.ravel()[0])``.
+
+        The head replays each Linear as stacked per-row products (see
+        :func:`repro.nn.recurrent._rowwise_matmul`) so the whole batch
+        matches the per-sequence forward bitwise — no autograd tape.
+        """
+        x = self.encode_batch_exact(sequences)
+        for layer in self.head.layers:
+            if isinstance(layer, Linear):
+                x = _rowwise_matmul(x, layer.weight.data)
+                if layer.bias is not None:
+                    x = x + layer.bias.data
+            elif isinstance(layer, ReLU):
+                x = np.maximum(x, 0.0)
+            else:  # pragma: no cover - heads are Linear/ReLU by construction
+                x = layer(Tensor(x)).data
+        return x.ravel()
+
     def activation_bytes(self, seq_len: int, batch: int = 1) -> int:
         """Analytic activation memory for one forward pass (Fig 11 stand-in
         for the paper's GPU-allocation measurements).
@@ -121,18 +150,17 @@ class PerformancePredictor:
         return float(self.model(np.asarray(tokens, dtype=np.int64)).data.ravel()[0])
 
     def predict_batch(self, sequences: list[np.ndarray]) -> np.ndarray:
-        """φ for several candidate sequences in one padded forward pass.
+        """φ for several candidate sequences in one masked exact pass.
 
         The session's trigger loop scores candidates through this entry
-        point. Note the bit-identity boundary: a single-sequence batch is
-        exactly :meth:`predict` (same shapes, all-ones mask), but padding
-        *multiple* sequences together changes the BLAS batch shape and
-        drifts the outputs by a few ULPs — so the deterministic search
-        path only ever batches candidates scored within one decision,
-        never across RNG-ordered steps.
+        point. Batching is *exact*: every row is bit-identical to the
+        corresponding :meth:`predict` call, for any mix of ragged
+        lengths (see :meth:`SequenceRegressor.infer_batch`). The padded
+        ULP-drifty multi-sequence forward survives only inside
+        :meth:`fit`, where its arithmetic is part of the pinned training
+        goldens.
         """
-        tokens, mask = pad_token_batch(sequences)
-        return self.model(tokens, mask).data.ravel()
+        return self.model.infer_batch(sequences)
 
     def fit(
         self,

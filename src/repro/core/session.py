@@ -37,6 +37,7 @@ from contextlib import nullcontext
 import numpy as np
 
 from repro.core.agents import CascadingAgents
+from repro.core.async_oracle import AsyncOracle
 from repro.core.callbacks import Callback, CallbackList, VerboseLogger
 from repro.core.clustering import IncrementalClusterer, RelevanceCache, cluster_features
 from repro.core.config import FastFTConfig
@@ -330,6 +331,13 @@ class SearchSession:
         self._global_step = 0
         self._components_trained = False
 
+        # Async oracle state (cfg.oracle_mode == "async"): triggered
+        # evaluations are deferred onto the pool and reconciled at pinned
+        # points; the pool itself is built lazily on first submission.
+        self._async_mode = cfg.oracle_mode == "async"
+        self._async_oracle: AsyncOracle | None = None
+        self._pending_evals: list[tuple[int, np.ndarray, TransformationPlan]] = []
+
         # Per-episode state (populated by _begin_episode).
         self._episode = 0
         self._step_in_episode = 0
@@ -362,6 +370,61 @@ class SearchSession:
         else:
             self._n_eval_calls += max(0, self._evaluator.n_calls - before)
         return float(score)
+
+    def _ensure_oracle(self) -> AsyncOracle:
+        if self._async_oracle is None:
+            cfg = self.config
+            self._async_oracle = AsyncOracle(
+                self._evaluator,
+                self._y,
+                n_workers=cfg.oracle_workers,
+                timeout=cfg.oracle_timeout,
+                retries=cfg.oracle_retries,
+            )
+        return self._async_oracle
+
+    def _reconcile(self) -> None:
+        """Drain every pending async evaluation, in submission order.
+
+        This is the only place deferred real scores touch search state,
+        and it runs at schedule-pinned points (every ``reconcile_every_k``
+        global steps, episode end, ``result()``, ``checkpoint()``) — so
+        the trajectory depends on the reconcile schedule, never on worker
+        timing. Degraded submissions (crash/timeout past the retry
+        budget) keep their predictor-estimated step scores.
+        """
+        if not self._pending_evals:
+            return
+        t0 = time.perf_counter()
+        outcomes = self._async_oracle.drain()
+        landed = degraded = 0
+        for (ticket, seq, plan), outcome in zip(self._pending_evals, outcomes):
+            assert outcome.ticket == ticket
+            if not outcome.ok:
+                degraded += 1
+                continue
+            landed += 1
+            score = float(outcome.score)
+            self._n_eval_calls += outcome.n_calls
+            self._eval_sequences.append(seq)
+            self._eval_scores.append(score)
+            if score > self._best_real_score:
+                self._best_real_score = score
+                self._best_real_plan = plan
+        self._pending_evals = []
+        self._timers.evaluation += time.perf_counter() - t0
+        self._callbacks.on_reconcile(self, landed, degraded)
+
+    def close(self) -> None:
+        """Release the async oracle pool (no-op in serial mode).
+
+        Pending evaluations are reconciled first, so closing never drops
+        submitted work. ``run()`` calls this when the session is done.
+        """
+        if getattr(self, "_async_oracle", None) is not None:
+            self._reconcile()
+            self._async_oracle.shutdown()
+            self._async_oracle = None
 
     # -- feature-space helpers ----------------------------------------------------
 
@@ -565,24 +628,39 @@ class SearchSession:
             self._embedding_history.append(emb)
             time_estimation += time.perf_counter() - t1
 
+        deferred = False
         if use_components:
             t1 = time.perf_counter()
-            # Candidate scoring goes through the batch entry point (one
-            # padded forward); within a step only same-decision candidates
-            # may share a batch, so the previous sequence — needed once per
-            # episode for the first reward delta — is scored separately.
+            # Candidate scoring goes through the batch entry point. The
+            # masked exact batch encode makes batching bit-identical to
+            # per-sequence forwards, so the previous sequence — needed
+            # once per episode for the first reward delta — shares the
+            # current sequence's pass.
             with inference():
-                phi_i = float(self._predictor.predict_batch([seq])[0])
                 if self._prev_phi is None:
-                    self._prev_phi = float(
-                        self._predictor.predict_batch([self._prev_seq])[0]
-                    )
+                    phis = self._predictor.predict_batch([seq, self._prev_seq])
+                    phi_i = float(phis[0])
+                    self._prev_phi = float(phis[1])
+                else:
+                    phi_i = float(self._predictor.predict_batch([seq])[0])
             time_estimation += time.perf_counter() - t1
 
             triggered = self._should_trigger(phi_i, nov_raw)
             self._pred_window.append(phi_i)
 
-            if triggered:
+            if triggered and self._async_mode:
+                # Defer the real evaluation to the pool and keep stepping
+                # on φ; the score lands (against this step's snapshot) at
+                # the next reconcile point. The step itself records the
+                # estimate: triggered=True + is_real=False marks it.
+                t1 = time.perf_counter()
+                ticket = self._ensure_oracle().submit(space.matrix())
+                self._pending_evals.append((ticket, seq, space.snapshot()))
+                time_evaluation += time.perf_counter() - t1
+                score = phi_i
+                is_real = False
+                deferred = True
+            elif triggered:
                 t1 = time.perf_counter()
                 score = self._evaluate_matrix(space.matrix())
                 time_evaluation += time.perf_counter() - t1
@@ -625,7 +703,9 @@ class SearchSession:
             if score > self._best_real_score:
                 self._best_real_score = score
                 self._best_real_plan = space.snapshot()
-        elif score > self._best_pseudo_score:
+        elif not deferred and score > self._best_pseudo_score:
+            # Deferred-triggered steps skip pseudo tracking: their real
+            # score covers the same plan at the next reconcile point.
             self._best_pseudo_score = score
             self._best_pseudo_plan = space.snapshot()
         self._seen_sequences.append(seq)
@@ -672,6 +752,9 @@ class SearchSession:
         """Stage transitions: component training / fine-tuning (§III-C/D)."""
         cfg = self.config
         episode = self._episode
+        # Episode-end reconcile point: the retrain below must see every
+        # real score collected during the episode.
+        self._reconcile()
         finished_cold_start = episode == cfg.cold_start_episodes - 1
         due_finetune = (
             self._components_trained
@@ -720,6 +803,10 @@ class SearchSession:
         self._callbacks.on_step(self, record)
         if record.is_real:
             self._callbacks.on_real_evaluation(self, record)
+        # Pinned mid-episode reconcile point (async mode): the schedule
+        # depends only on the global step counter, never on worker timing.
+        if self._pending_evals and self._global_step % self.config.reconcile_every_k == 0:
+            self._reconcile()
         if self._step_in_episode >= self.config.steps_per_episode:
             self._end_episode()
         return record
@@ -751,6 +838,8 @@ class SearchSession:
                     break
             self.step()
         result = self.result()
+        if self.done:
+            self.close()
         # on_finish fires once per final state: calling run() again on an
         # already-done session (e.g. resuming a finished checkpoint) must
         # not repeat finish-time side effects.
@@ -770,6 +859,7 @@ class SearchSession:
         ``result()`` calls do not re-evaluate.
         """
         self._require_started()
+        self._reconcile()
         best_score, best_plan = self._best_real_score, self._best_real_plan
         if self._best_pseudo_plan is not None and self._best_pseudo_score > self._best_real_score:
             if (
@@ -800,10 +890,17 @@ class SearchSession:
     # -- checkpointing --------------------------------------------------------------
 
     def __getstate__(self) -> dict:
+        if getattr(self, "_pending_evals", None):
+            raise RuntimeError(
+                "Cannot pickle a session with in-flight async evaluations; "
+                "use checkpoint() (which reconciles first)"
+            )
         state = dict(self.__dict__)
         # Callbacks can hold streams / open files; they are re-attached on
-        # resume rather than serialized.
+        # resume rather than serialized. The async oracle pool is a
+        # per-process resource: a resumed session rebuilds it lazily.
         state["_callbacks"] = None
+        state["_async_oracle"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -831,6 +928,22 @@ class SearchSession:
             self._state_cache = None
             self._relevance_cache = None
             self._clusterer = None
+        # Checkpoints written before the async oracle: default the config
+        # knobs and the (empty) deferred-evaluation state.
+        for name, default in (
+            ("oracle_mode", "serial"),
+            ("reconcile_every_k", 4),
+            ("oracle_workers", 2),
+            ("oracle_timeout", None),
+            ("oracle_retries", 1),
+        ):
+            if not hasattr(self.config, name):
+                setattr(self.config, name, default)
+        if "_async_mode" not in state:
+            self._async_mode = self.config.oracle_mode == "async"
+        if "_pending_evals" not in state:
+            self._pending_evals = []
+        self._async_oracle = None
         # A stop request (time budget, early stopping, user interrupt) is a
         # transient signal to *this* process; resuming a stopped checkpoint
         # means "continue the search", so the flag does not survive. The
@@ -846,8 +959,13 @@ class SearchSession:
         Valid at any point — before :meth:`start`, mid-episode, or when
         done. The checkpoint embeds the training data, every model/agent
         parameter, replay memories and all RNG streams, so
-        :meth:`resume` continues the search deterministically.
+        :meth:`resume` continues the search deterministically. In async
+        mode, checkpointing is itself a reconcile point: pending real
+        scores land before the state is frozen (the oracle pool is a
+        per-process resource and never serializes).
         """
+        if self._started:
+            self._reconcile()
         payload = {
             "format": CHECKPOINT_FORMAT,
             "version": CHECKPOINT_VERSION,

@@ -29,7 +29,7 @@ def run(
     methods: list[str] | None = None,
 ) -> dict:
     datasets = datasets or DEFAULT_DATASETS
-    methods = methods or (METHOD_ORDER + ["fastft_no_pp"])
+    methods = methods or (METHOD_ORDER + ["fastft_no_pp", "fastft_async"])
     points: dict[str, dict[str, tuple[float, float]]] = {}
     for ds_name in datasets:
         dataset = load_profile_dataset(ds_name, profile, seed=seed)
@@ -41,6 +41,14 @@ def run(
             elif method == "fastft_no_pp":
                 result, wall = run_fastft_on_dataset(
                     dataset, profile, seed=seed, use_performance_predictor=False
+                )
+                points[ds_name][method] = (wall, result.best_score)
+            elif method == "fastft_async":
+                # The async-oracle arm: triggered evaluations overlap with
+                # the search loop (repro.core.async_oracle); its trajectory
+                # is pinned by reconcile_every_k, not by worker timing.
+                result, wall = run_fastft_on_dataset(
+                    dataset, profile, seed=seed, oracle_mode="async"
                 )
                 points[ds_name][method] = (wall, result.best_score)
             else:

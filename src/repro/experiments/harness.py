@@ -54,6 +54,9 @@ def make_fastft_config(
         rf_estimators=profile.rf_estimators,
         oracle_engine=profile.oracle_engine,
         cv_jobs=profile.cv_jobs,
+        oracle_mode=profile.oracle_mode,
+        reconcile_every_k=profile.reconcile_every_k,
+        oracle_workers=profile.oracle_workers,
         seed=seed,
     )
     base.update(overrides)

@@ -26,6 +26,11 @@ class RunProfile:
     rf_estimators: int = 6
     oracle_engine: str = "presort"
     cv_jobs: int = 1
+    # async oracle arm (oracle_mode="async" overlays evaluation with search;
+    # harnesses opt in per arm — the profile only carries the knobs)
+    oracle_mode: str = "serial"
+    reconcile_every_k: int = 4
+    oracle_workers: int = 2
     # FastFT schedule
     episodes: int = 6
     steps_per_episode: int = 5

@@ -269,6 +269,17 @@ class CachedEvaluator:
         h.update(blob(getattr(evaluator, "model", None)))
         return h.digest()
 
+    @property
+    def fingerprint(self) -> bytes:
+        """The evaluator identity folded into every cache key.
+
+        Public so out-of-band cache users — e.g. the
+        :class:`~repro.core.async_oracle.AsyncOracle`, which consults the
+        cache at submission time and writes scores back when they land —
+        derive exactly the keys this front would.
+        """
+        return self._fingerprint
+
     # -- DownstreamEvaluator interface parity ---------------------------------
 
     @property

@@ -14,6 +14,7 @@ time-breakdown harness reads directly.
 
 from __future__ import annotations
 
+import copy
 import time
 from typing import Callable
 
@@ -169,6 +170,20 @@ class DownstreamEvaluator:
         X = sanitize_features(X)
         scores, _ = self._cross_val(model, X, y)
         return float(np.mean(scores))
+
+    def for_worker(self) -> "DownstreamEvaluator":
+        """A copy suitable for running *inside* a worker process.
+
+        Fold-parallel CV is demoted to serial (a nested pool inside an
+        :class:`~repro.core.async_oracle.AsyncOracle` worker would
+        oversubscribe the cores the outer pool already owns) and the
+        cost counters start fresh, so per-worker deltas are honest.
+        Scores are unchanged — ``cv_jobs`` never affects them.
+        """
+        clone = copy.copy(self)
+        clone.cv_jobs = 1
+        clone.reset_counters()
+        return clone
 
     def reset_counters(self) -> None:
         self.n_calls = 0

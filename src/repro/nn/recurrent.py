@@ -5,6 +5,20 @@ transformation-token sequence with a 2-layer LSTM (paper §V: embedding 32).
 Batches are right-padded; a per-timestep mask freezes the hidden state after
 a sequence's last real token, so the returned encoding is exactly the state
 at each sequence's own end.
+
+Two batch paths exist, with different guarantees:
+
+- :meth:`_RecurrentBase.forward` — the autograd path used for training.
+  Its padded multi-sequence batches go through flat 2-D GEMMs whose
+  blocked summation order depends on the batch size, so a padded batch
+  encode is *not* bit-identical to encoding each sequence alone (ULP
+  drift). Training tolerates this; it is part of the pinned goldens.
+- :meth:`_RecurrentBase.encode_batch` — the inference path. It runs the
+  same masked unroll in raw numpy but dispatches every matrix product as
+  a stack of per-row ``(1, D) @ (D, K)`` products, which makes the whole
+  batch bit-identical to the per-sequence loop. Estimation paths (the
+  performance predictor and novelty estimator) use this, so batched
+  scoring is exact, not approximately-equal.
 """
 
 from __future__ import annotations
@@ -16,6 +30,23 @@ from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor
 
 __all__ = ["LSTMEncoder", "RNNEncoder", "pad_token_batch"]
+
+
+def _rowwise_matmul(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """``(B, D) @ (D, K)`` as a stack of per-row ``(1, D) @ (D, K)`` products.
+
+    A flat 2-D ``x @ w`` lets BLAS pick a blocked kernel whose summation
+    order depends on B, so the batched result drifts from the per-row
+    products in the last ULP. The stacked 3-D form runs the same
+    row-vector kernel as ``x[i:i+1] @ w`` for every row, which keeps
+    batched encodes bit-identical to the per-sequence loop.
+    """
+    return np.matmul(x[:, None, :], w)[:, 0, :]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Mirrors Tensor.sigmoid exactly (same clip bounds, same expression).
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -60.0, 60.0)))
 
 
 def pad_token_batch(sequences: list[np.ndarray], pad_value: int = 0) -> tuple[np.ndarray, np.ndarray]:
@@ -79,6 +110,23 @@ class _RecurrentBase(Module):
     def _unroll(self, embedded: Tensor, mask: np.ndarray, B: int, T: int) -> Tensor:
         raise NotImplementedError
 
+    def encode_batch(self, sequences: list[np.ndarray]) -> np.ndarray:
+        """Encode ragged token sequences in one masked pass.
+
+        Returns a raw ``(B, hidden_dim)`` float array with no autograd
+        tape — inference only. Bit-identical to stacking
+        ``forward(seq).data`` per sequence: alive timesteps replay the
+        reference's mask-1 blend arithmetic verbatim, frozen timesteps
+        keep the old state through ``np.where`` (the per-sequence loop
+        never computes them at all).
+        """
+        tokens, mask = pad_token_batch(sequences)
+        embedded = self.embedding.weight.data[tokens]  # (B, T, E)
+        return self._unroll_exact(embedded, mask)
+
+    def _unroll_exact(self, embedded: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
 
 class LSTMEncoder(_RecurrentBase):
     """Multi-layer LSTM; gates packed as [input, forget, cell, output]."""
@@ -117,6 +165,31 @@ class LSTMEncoder(_RecurrentBase):
                 x = h[l]
         return h[-1]
 
+    def _unroll_exact(self, embedded: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        H = self.hidden_dim
+        B, T, _ = embedded.shape
+        h = [np.zeros((B, H)) for _ in range(self.num_layers)]
+        c = [np.zeros((B, H)) for _ in range(self.num_layers)]
+        for t in range(T):
+            x = embedded[:, t, :]
+            m = mask[:, t : t + 1]
+            alive = m > 0.0
+            for l in range(self.num_layers):
+                z = (
+                    _rowwise_matmul(x, self.w_x[l].data)
+                    + _rowwise_matmul(h[l], self.w_h[l].data)
+                ) + self.b[l].data
+                i_gate = _sigmoid(z[:, 0 * H : 1 * H])
+                f_gate = _sigmoid(z[:, 1 * H : 2 * H])
+                g_gate = np.tanh(z[:, 2 * H : 3 * H])
+                o_gate = _sigmoid(z[:, 3 * H : 4 * H])
+                c_new = f_gate * c[l] + i_gate * g_gate
+                h_new = o_gate * np.tanh(c_new)
+                c[l] = np.where(alive, m * c_new + (1.0 - m) * c[l], c[l])
+                h[l] = np.where(alive, m * h_new + (1.0 - m) * h[l], h[l])
+                x = h[l]
+        return h[-1]
+
 
 class RNNEncoder(_RecurrentBase):
     """Multi-layer Elman RNN with tanh recurrence (Fig 8 ablation)."""
@@ -139,5 +212,24 @@ class RNNEncoder(_RecurrentBase):
             for l in range(self.num_layers):
                 h_new = (x @ self.w_x[l] + h[l] @ self.w_h[l] + self.b[l]).tanh()
                 h[l] = m * h_new + (1.0 - m) * h[l]
+                x = h[l]
+        return h[-1]
+
+    def _unroll_exact(self, embedded: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        B, T, _ = embedded.shape
+        h = [np.zeros((B, self.hidden_dim)) for _ in range(self.num_layers)]
+        for t in range(T):
+            x = embedded[:, t, :]
+            m = mask[:, t : t + 1]
+            alive = m > 0.0
+            for l in range(self.num_layers):
+                h_new = np.tanh(
+                    (
+                        _rowwise_matmul(x, self.w_x[l].data)
+                        + _rowwise_matmul(h[l], self.w_h[l].data)
+                    )
+                    + self.b[l].data
+                )
+                h[l] = np.where(alive, m * h_new + (1.0 - m) * h[l], h[l])
                 x = h[l]
         return h[-1]

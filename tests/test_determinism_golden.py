@@ -52,6 +52,31 @@ GOLDEN_DIGESTS = {
     "regression": "77cb665889fbadc35d975453a20562419475850d80175a0fd5666df8549f5d93",
 }
 
+# The async-oracle arm (oracle_mode="async"): triggered evaluations defer
+# to the pool and reconcile every k global steps, so steps that trigger
+# record their φ estimate (is_real=False) and the real score lands later —
+# a *different* pinned trajectory with its own goldens, never a silent
+# change to GOLDEN_DIGESTS above. The reference arm is oracle_workers=0
+# (inline deferred); a real pool must match it bit-for-bit.
+ASYNC_GOLDEN_CONFIG = dict(
+    GOLDEN_CONFIG, oracle_mode="async", reconcile_every_k=2, oracle_workers=0
+)
+
+# At this tiny scale the deferred arm happens to land on the same final
+# plan/base/best as the serial arm (the result digests coincide); the
+# step-level history digests below pin the part that genuinely differs
+# (deferred steps score φ, rewards and replay priorities shift).
+ASYNC_GOLDEN_DIGESTS = {
+    "classification": "a73dfd00b22b5f87047d3d0704068556e27c3d7415b038413f57549143737992",
+    "regression": "77cb665889fbadc35d975453a20562419475850d80175a0fd5666df8549f5d93",
+}
+
+# sha256 over the deterministic step-history JSON (timing fields excluded).
+ASYNC_GOLDEN_HISTORY_DIGESTS = {
+    "classification": "7daf746e389f9308c49d5d3981e53800ebfbd41b301238963d8cfbb8f8fe13d0",
+    "regression": "36475cc1be37ec3c0a8b5c533c19efc017eec864a33629572c98ca912d93e2cb",
+}
+
 
 def _problem(task: str) -> tuple[np.ndarray, np.ndarray]:
     rng = np.random.default_rng(17)
@@ -77,6 +102,12 @@ def _deterministic_view(result: FastFTResult) -> list[dict]:
     return [
         json.loads(json.dumps(r.deterministic_dict())) for r in result.history
     ]
+
+
+def _history_digest(result: FastFTResult) -> str:
+    return hashlib.sha256(
+        json.dumps(_deterministic_view(result), sort_keys=True).encode()
+    ).hexdigest()
 
 
 @pytest.mark.parametrize("task", ["classification", "regression"])
@@ -114,3 +145,56 @@ class TestDeterminismGolden:
             f"the trajectory change in the PR; if not, a refactor broke "
             f"seeded determinism — bisect before touching the golden."
         )
+
+
+@pytest.mark.parametrize("task", ["classification", "regression"])
+class TestAsyncOracleGolden:
+    """The oracle_mode="async" determinism contract (see
+    repro.core.async_oracle): a pinned reconcile schedule makes the arm
+    bit-identical across runs and across pool sizes — worker timing never
+    leaks into the trajectory."""
+
+    def test_two_async_runs_are_bit_identical(self, task):
+        X, y = _problem(task)
+        first = api.search(X, y, task, **ASYNC_GOLDEN_CONFIG)
+        second = api.search(X, y, task, **ASYNC_GOLDEN_CONFIG)
+        assert first.plan.to_json() == second.plan.to_json()
+        assert repr(first.best_score) == repr(second.best_score)
+        assert _deterministic_view(first) == _deterministic_view(second)
+        assert _digest(first) == _digest(second)
+
+    def test_pooled_matches_inline_reference_arm(self, task):
+        X, y = _problem(task)
+        inline = api.search(X, y, task, **ASYNC_GOLDEN_CONFIG)
+        pooled = api.search(
+            X, y, task, **dict(ASYNC_GOLDEN_CONFIG, oracle_workers=2)
+        )
+        assert pooled.plan.to_json() == inline.plan.to_json()
+        assert repr(pooled.base_score) == repr(inline.base_score)
+        assert repr(pooled.best_score) == repr(inline.best_score)
+        assert _deterministic_view(pooled) == _deterministic_view(inline)
+
+    def test_async_digests_match_checked_in_goldens(self, task):
+        X, y = _problem(task)
+        result = api.search(X, y, task, **ASYNC_GOLDEN_CONFIG)
+        assert _digest(result) == ASYNC_GOLDEN_DIGESTS[task], (
+            f"async-arm {task} result drifted; if intentional, update "
+            f"ASYNC_GOLDEN_DIGESTS[{task!r}] to {_digest(result)!r} and "
+            f"explain why in the PR."
+        )
+        assert _history_digest(result) == ASYNC_GOLDEN_HISTORY_DIGESTS[task], (
+            f"async-arm {task} step history drifted; if intentional, update "
+            f"ASYNC_GOLDEN_HISTORY_DIGESTS[{task!r}] to "
+            f"{_history_digest(result)!r} and explain why in the PR."
+        )
+
+    def test_async_arm_is_a_distinct_trajectory(self, task):
+        """Deferred steps record φ estimates (triggered + not real), so the
+        async step history must differ from serial — if it ever collapses
+        into the serial history, the deferral isn't happening."""
+        X, y = _problem(task)
+        serial = api.search(X, y, task, **GOLDEN_CONFIG)
+        deferred_run = api.search(X, y, task, **ASYNC_GOLDEN_CONFIG)
+        deferred = [r for r in deferred_run.history if r.triggered and not r.is_real]
+        assert deferred, "async arm never deferred a triggered evaluation"
+        assert _deterministic_view(deferred_run) != _deterministic_view(serial)

@@ -21,6 +21,24 @@ from repro.core.parallel import SearchOrchestrator, SweepResult, _payload_ok
 from repro.core.result import FastFTResult
 from repro.ml.cache import EvaluationCache, SharedEvaluationCache
 
+def _racing_cache_writer(shared, X, y, barrier, out) -> None:
+    """Child-process body for the concurrent-writer race test: evaluate
+    the same matrix through the shared cache, then hammer the same key
+    with redundant puts to widen the race window."""
+    from repro.core.config import FastFTConfig
+    from repro.core.session import make_default_evaluator
+
+    evaluator = shared.wrap(
+        make_default_evaluator("classification", FastFTConfig(cv_splits=2))
+    )
+    barrier.wait()
+    score = evaluator(X, y)
+    key = shared.signature(X, y, evaluator.fingerprint)
+    for _ in range(50):
+        shared.put(key, score)
+    out.put((key, repr(score)))
+
+
 TINY = dict(
     episodes=2,
     steps_per_episode=2,
@@ -257,6 +275,50 @@ class TestFallbackAndCache:
             second = evaluator(X, y)
             assert second == first
             assert evaluator.n_calls == calls_after_first  # served from the store
+        finally:
+            shared.shutdown()
+
+    def test_shared_cache_concurrent_writers_same_key_agree(self, problem):
+        """Writers racing puts on one content-signature key are benign:
+        the evaluator is deterministic, so every writer computes the same
+        score and last-write-wins leaves that score — merge semantics
+        yield a single consistent entry, never a torn or mixed value."""
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            pytest.skip("fork start method unavailable")
+
+        X, y = problem
+        shared = SharedEvaluationCache()
+        try:
+            barrier = ctx.Barrier(3)
+            out = ctx.Queue()
+            procs = [
+                ctx.Process(target=_racing_cache_writer, args=(shared, X, y, barrier, out))
+                for _ in range(3)
+            ]
+            for p in procs:
+                p.start()
+            reports = [out.get(timeout=120) for _ in procs]
+            for p in procs:
+                p.join(timeout=120)
+                assert p.exitcode == 0
+
+            keys = {key for key, _ in reports}
+            assert len(keys) == 1, "writers disagreed on the content signature"
+            (key,) = keys
+            scores = {score_repr for _, score_repr in reports}
+            assert len(scores) == 1, f"racing writers produced divergent scores: {scores}"
+            (score_repr,) = scores
+
+            # The store holds exactly that score, and folding it into a
+            # local cache reproduces it bit-for-bit.
+            assert repr(shared.get(key)) == score_repr
+            local = EvaluationCache()
+            shared.merge_into(local)
+            assert repr(local.get(key)) == score_repr
         finally:
             shared.shutdown()
 
