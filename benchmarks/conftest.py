@@ -67,11 +67,15 @@ def sized_profile(profile):
 
 @pytest.fixture(scope="session")
 def save_report():
+    from repro.obs import run_metadata_header
+
     REPORT_DIR.mkdir(exist_ok=True)
 
     def _save(name: str, report: str) -> None:
         path = REPORT_DIR / f"{name}.txt"
-        path.write_text(report + "\n")
+        # Perf numbers are only interpretable with the producing machine
+        # attached; every report leads with the environment header.
+        path.write_text(run_metadata_header() + "\n" + report + "\n")
         print(f"\n{report}\n[report saved to {path}]")
 
     return _save

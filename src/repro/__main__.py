@@ -7,6 +7,7 @@ Commands
 ``resume``       continue a search from a ``--checkpoint`` file
 ``export``       search a dataset and package the result as a pipeline artifact
 ``serve``        serve a pipeline artifact over HTTP (micro-batched inference)
+``trace``        render a recorded ``--trace`` JSONL file as a profiling report
 ``experiments``  regenerate the paper's tables/figures (delegates to run_all)
 ``datasets``     list the 23 registered Table I datasets
 
@@ -50,6 +51,10 @@ def _session_callbacks(args: argparse.Namespace) -> list:
         callbacks.append(TimeBudget(args.time_budget))
     if getattr(args, "checkpoint", None):
         callbacks.append(Checkpointer(args.checkpoint))
+    if getattr(args, "trace", None):
+        from repro.obs import TracingCallback
+
+        callbacks.append(TracingCallback(path=args.trace))
     return callbacks
 
 
@@ -336,17 +341,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms,
         max_batch_rows=args.max_batch_rows,
         max_requests=args.max_requests,
+        access_log=args.access_log,
     )
     summary = artifact.summary()
     print(f"serving   : {summary['task']} pipeline, {summary['n_features']} features "
           f"({'with' if summary['has_model'] else 'no'} model)")
-    print(f"listening : {server.url}  (POST /transform, POST /predict, GET /healthz)")
+    print(f"listening : {server.url}  (POST /transform, POST /predict, "
+          f"GET /healthz, GET /metrics)")
     if args.url_file:
         # Written once the socket is bound — lets scripts and tests find an
         # ephemeral --port 0 server without parsing stdout.
         with open(args.url_file, "w") as fh:
             fh.write(server.url + "\n")
     server.serve_forever()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import render_trace_report
+
+    try:
+        print(render_trace_report(args.trace_file), end="")
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -380,6 +398,13 @@ def _add_session_flags(parser: argparse.ArgumentParser) -> None:
         help="stop the search once this much wall time has elapsed",
     )
     parser.add_argument("--save-plan", default=None, help="write the plan JSON here")
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record a structured execution trace (JSONL) of the search; "
+        "render it afterwards with `repro trace PATH`",
+    )
 
 
 def _add_search_flags(parser: argparse.ArgumentParser) -> None:
@@ -558,9 +583,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="row cap per coalesced batch (default: %(default)s)")
     p_srv.add_argument("--max-requests", type=int, default=None,
                        help="shut down after serving this many requests")
+    p_srv.add_argument("--access-log", action="store_true",
+                       help="log every HTTP request to stderr (off by default)")
     p_srv.add_argument("--url-file", default=None, metavar="PATH",
                        help="write the bound server URL here once listening")
     p_srv.set_defaults(func=_cmd_serve)
+
+    p_trc = sub.add_parser(
+        "trace",
+        help="render recorded trace file(s) as a profiling report",
+    )
+    p_trc.add_argument(
+        "trace_file",
+        nargs="+",
+        help="trace JSONL file(s) written by --trace; several files "
+        "(e.g. sweep workers) report side-by-side with merged metrics",
+    )
+    p_trc.set_defaults(func=_cmd_trace)
 
     p_re = sub.add_parser("resume", help="continue a checkpointed search")
     p_re.add_argument("checkpoint_file", help="checkpoint written by --checkpoint")

@@ -155,6 +155,11 @@ class AsyncOracle:
         self._next_worker_id = 0
         self._ctx = None
         self._tasks = None
+        # Observability (repro.obs): a parent-side tracer records queue
+        # telemetry — submit/land latencies, queue depth, per-worker
+        # utilization, degradations. Never pickled, never shipped to the
+        # workers, and every hook is a no-op when no tracer is attached.
+        self._tracer = None
 
         # Unwrap a cache front: the parent consults/updates the cache, the
         # raw evaluator ships to the workers (a shared cache ships too).
@@ -208,6 +213,10 @@ class AsyncOracle:
     def inline(self) -> bool:
         """True when running the serial reference arm (no worker pool)."""
         return self._inline
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.Tracer` (``None`` detaches)."""
+        self._tracer = tracer
 
     @property
     def n_pending(self) -> int:
@@ -283,6 +292,10 @@ class AsyncOracle:
         ticket = self._next_ticket
         self._next_ticket += 1
         entry: dict = {"X": None, "key": None, "attempts": 0, "resolved": None}
+        tracer = self._tracer
+        if tracer is not None:
+            entry["t_submit"] = time.perf_counter()
+            tracer.count("oracle.submitted")
         if self._cache is not None:
             key = self._cache.signature(X, self._y, self._fingerprint)
             entry["key"] = key
@@ -290,12 +303,17 @@ class AsyncOracle:
             if cached is not None:
                 entry["resolved"] = EvalOutcome(ticket, float(cached), True, n_calls=0, attempts=0)
                 self._pending[ticket] = entry
+                if tracer is not None:
+                    tracer.count("oracle.submit_cache_hits")
+                    tracer.gauge("oracle.queue_depth", len(self._pending))
                 return ticket
         entry["X"] = np.array(X, copy=True)
         self._pending[ticket] = entry
         if not self._inline:
             entry["attempts"] = 1
             self._tasks.put((ticket, entry["X"]))
+        if tracer is not None:
+            tracer.gauge("oracle.queue_depth", len(self._pending))
         return ticket
 
     def drain(self) -> list[EvalOutcome]:
@@ -307,6 +325,8 @@ class AsyncOracle:
         """
         if not self._pending:
             return []
+        tracer = self._tracer
+        t_drain = time.perf_counter() if tracer is not None else 0.0
         pending, self._pending = self._pending, {}
         outcomes = {t: e["resolved"] for t, e in pending.items() if e["resolved"] is not None}
         if self._inline:
@@ -316,7 +336,23 @@ class AsyncOracle:
                 outcomes[ticket] = self._evaluate_inline(ticket, entry)
         else:
             self._drain_pool(pending, outcomes)
-        return [outcomes[t] for t in pending]
+        resolved = [outcomes[t] for t in pending]
+        if tracer is not None:
+            tracer.observe("oracle.drain_seconds", time.perf_counter() - t_drain)
+            tracer.gauge("oracle.queue_depth", 0)
+            for ticket, entry in pending.items():
+                self._trace_landed(entry, outcomes[ticket])
+        return resolved
+
+    def _trace_landed(self, entry: dict, outcome: EvalOutcome) -> None:
+        """Per-submission telemetry, recorded once the outcome is final."""
+        tracer = self._tracer
+        t_submit = entry.get("t_submit")
+        if t_submit is not None:
+            tracer.observe("oracle.submit_to_land_seconds", time.perf_counter() - t_submit)
+        tracer.count("oracle.landed" if outcome.ok else "oracle.degraded")
+        if outcome.attempts > 1:
+            tracer.count("oracle.retries", outcome.attempts - 1)
 
     def _evaluate_inline(self, ticket: int, entry: dict) -> EvalOutcome:
         try:
@@ -362,7 +398,7 @@ class AsyncOracle:
         if kind == "start":
             self._claims[wid] = (ticket, time.monotonic())
         elif kind == "done":
-            self._claims.pop(wid, None)
+            self._trace_worker_done(wid, self._claims.pop(wid, None))
             if ticket in unresolved:
                 score, n_new = payload
                 outcomes[ticket] = EvalOutcome(
@@ -372,9 +408,18 @@ class AsyncOracle:
                     self._cache.put(pending[ticket]["key"], score)
                 unresolved.discard(ticket)
         elif kind == "fail":
-            self._claims.pop(wid, None)
+            self._trace_worker_done(wid, self._claims.pop(wid, None))
             if ticket in unresolved:
                 self._retry_or_degrade(pending, outcomes, unresolved, ticket, payload)
+
+    def _trace_worker_done(self, wid: int, claim) -> None:
+        """Per-worker utilization: busy seconds and completed tasks."""
+        tracer = self._tracer
+        if tracer is None or claim is None:
+            return
+        labels = {"worker": wid}
+        tracer.count("oracle.worker_busy_seconds", time.monotonic() - claim[1], labels=labels)
+        tracer.count("oracle.worker_tasks", labels=labels)
 
     def _reap_worker(self, wid, pending, outcomes, unresolved, reason) -> None:
         """Retire one worker: stop it, salvage its reports, replace it.
@@ -403,6 +448,8 @@ class AsyncOracle:
                 pass
         claim = self._claims.pop(wid, None)
         self._spawn_worker()
+        if self._tracer is not None:
+            self._tracer.count("oracle.workers_reaped", labels={"reason": reason})
         if claim is not None and claim[0] in unresolved:
             self._retry_or_degrade(pending, outcomes, unresolved, claim[0], reason)
 

@@ -144,6 +144,17 @@ class SearchSession:
         self._stop_reason: str | None = None
         self._finish_notified_at: int | None = None
 
+        # Observability (repro.obs): the tracer is attached by a
+        # TracingCallback and only *reads* timings the session measures
+        # anyway — nothing here feeds back into the trajectory. The
+        # last_*_seconds attributes expose phase durations the per-step
+        # records cannot carry, for callbacks that fire right after them.
+        self._tracer = None
+        self.base_eval_seconds = 0.0
+        self.last_episode_setup_seconds = 0.0
+        self.last_reconcile_seconds = 0.0
+        self.last_retrain_seconds = 0.0
+
     # -- lifecycle observability ------------------------------------------------
 
     @property
@@ -212,6 +223,23 @@ class SearchSession:
 
     def add_callback(self, callback: Callback) -> None:
         self._callbacks.append(callback)
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.Tracer` (or ``None`` to detach).
+
+        Forwards to the downstream evaluator (per-fold timings, engine
+        label) and the async oracle pool (queue telemetry) when present.
+        Tracers are process-local: they never survive pickling.
+        """
+        self._tracer = tracer
+        evaluator = self._evaluator
+        # A cache wrapper (repro.api.CachedEvaluator) holds the real
+        # evaluator on `.evaluator`; instrument the innermost one.
+        inner = getattr(evaluator, "evaluator", evaluator)
+        if hasattr(inner, "set_tracer"):
+            inner.set_tracer(tracer)
+        if getattr(self, "_async_oracle", None) is not None:
+            self._async_oracle.set_tracer(tracer)
 
     def request_stop(self, reason: str = "") -> None:
         """Ask the session to end after the current step (callback-safe)."""
@@ -292,7 +320,8 @@ class SearchSession:
         self._n_eval_calls = 0
         t0 = time.perf_counter()
         self._base_score = self._evaluate_matrix(self._X)
-        self._timers.evaluation += time.perf_counter() - t0
+        self.base_eval_seconds = time.perf_counter() - t0
+        self._timers.evaluation += self.base_eval_seconds
 
         self._best_real_score = self._base_score
         self._best_real_plan = FeatureSpace(self._X, self._feature_names).snapshot()
@@ -381,6 +410,8 @@ class SearchSession:
                 timeout=cfg.oracle_timeout,
                 retries=cfg.oracle_retries,
             )
+            if self._tracer is not None:
+                self._async_oracle.set_tracer(self._tracer)
         return self._async_oracle
 
     def _reconcile(self) -> None:
@@ -412,7 +443,8 @@ class SearchSession:
                 self._best_real_score = score
                 self._best_real_plan = plan
         self._pending_evals = []
-        self._timers.evaluation += time.perf_counter() - t0
+        self.last_reconcile_seconds = time.perf_counter() - t0
+        self._timers.evaluation += self.last_reconcile_seconds
         self._callbacks.on_reconcile(self, landed, degraded)
 
     def close(self) -> None:
@@ -545,7 +577,8 @@ class SearchSession:
 
         t0 = time.perf_counter()
         self._clusters, self._overall_rep, self._cluster_reps = self._recluster(self._space)
-        self._timers.optimization += time.perf_counter() - t0
+        self.last_episode_setup_seconds = time.perf_counter() - t0
+        self._timers.optimization += self.last_episode_setup_seconds
 
         self._prev_score_used = self._base_score
         self._prev_phi = None
@@ -576,7 +609,8 @@ class SearchSession:
             self._body_tokens.extend(self._vocab.step_tokens(op.name, head_fids))
         seq = self._vocab.finalize(self._body_tokens, cfg.max_seq_len)
         self._prune(space)
-        self._timers.optimization += time.perf_counter() - t0
+        time_optimization = time.perf_counter() - t0
+        self._timers.optimization += time_optimization
 
         new_expressions = [space.expression(f) for f in new_fids]
         fresh = [e for e in new_expressions if e not in self._seen_expressions]
@@ -719,7 +753,9 @@ class SearchSession:
         )
         self._agents.optimize()
         self._overall_rep, self._cluster_reps = overall_rep_next, cluster_reps_next
-        self._timers.optimization += time.perf_counter() - t0
+        dt = time.perf_counter() - t0
+        time_optimization += dt
+        self._timers.optimization += dt
 
         best_so_far = max(self._best_real_score, self._base_score)
         return StepRecord(
@@ -738,7 +774,7 @@ class SearchSession:
             n_features=space.n_features,
             n_clusters=len(self._clusters),
             best_score_so_far=best_so_far,
-            time_optimization=0.0,
+            time_optimization=time_optimization,
             time_estimation=time_estimation,
             time_evaluation=time_evaluation,
             new_expressions=new_expressions,
@@ -774,7 +810,8 @@ class SearchSession:
                 self._novelty.fit(
                     list(self._seen_sequences), epochs=cfg.component_epochs, rng=self._rng
                 )
-            self._timers.estimation += time.perf_counter() - t1
+            self.last_retrain_seconds = time.perf_counter() - t1
+            self._timers.estimation += self.last_retrain_seconds
             self._components_trained = True
             stage = "cold_start" if finished_cold_start else "fine_tune"
             self._callbacks.on_retrain(self, episode, stage)
@@ -898,9 +935,11 @@ class SearchSession:
         state = dict(self.__dict__)
         # Callbacks can hold streams / open files; they are re-attached on
         # resume rather than serialized. The async oracle pool is a
-        # per-process resource: a resumed session rebuilds it lazily.
+        # per-process resource: a resumed session rebuilds it lazily, and
+        # the tracer (open file handle + locks) likewise stays behind.
         state["_callbacks"] = None
         state["_async_oracle"] = None
+        state["_tracer"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
@@ -944,6 +983,18 @@ class SearchSession:
         if "_pending_evals" not in state:
             self._pending_evals = []
         self._async_oracle = None
+        # Checkpoints written before repro.obs: default the tracer slot and
+        # the phase-duration attributes the TracingCallback reads.
+        if "_tracer" not in state:
+            self._tracer = None
+        for name in (
+            "base_eval_seconds",
+            "last_episode_setup_seconds",
+            "last_reconcile_seconds",
+            "last_retrain_seconds",
+        ):
+            if name not in state:
+                setattr(self, name, 0.0)
         # A stop request (time budget, early stopping, user interrupt) is a
         # transient signal to *this* process; resuming a stopped checkpoint
         # means "continue the search", so the flag does not survive. The

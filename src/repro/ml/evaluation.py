@@ -96,6 +96,10 @@ class DownstreamEvaluator:
     # existed (old session checkpoints) resume with serial behavior.
     engine = "presort"
     cv_jobs = 1
+    # Observability (repro.obs): attached by SearchSession.set_tracer;
+    # process-local, dropped on pickling (the class attr is the fallback
+    # every unpickled or worker copy sees).
+    tracer = None
 
     def __init__(
         self,
@@ -152,12 +156,20 @@ class DownstreamEvaluator:
         X = sanitize_features(X)
         scores, fold_times = self._cross_val(self.model, X, y)
         self.n_calls += 1
+        elapsed = time.perf_counter() - start
         if self.cv_jobs != 1:
             # Pool wall time under-reports the oracle's actual compute;
             # the paper's cost accounting wants summed fit+score time.
             self.total_time += float(sum(fold_times))
         else:
-            self.total_time += time.perf_counter() - start
+            self.total_time += elapsed
+        tracer = self.tracer
+        if tracer is not None:
+            labels = {"engine": self.engine, "task": self.task}
+            tracer.count("eval.calls", labels=labels)
+            tracer.observe("eval.call_seconds", elapsed, labels=labels)
+            for fold_time in fold_times:
+                tracer.observe("eval.fold_seconds", float(fold_time), labels=labels)
         return float(np.mean(scores))
 
     def evaluate(self, X: np.ndarray, y: np.ndarray) -> float:
@@ -182,8 +194,20 @@ class DownstreamEvaluator:
         """
         clone = copy.copy(self)
         clone.cv_jobs = 1
+        clone.__dict__.pop("tracer", None)  # tracers are process-local
         clone.reset_counters()
         return clone
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.Tracer` (``None`` detaches)."""
+        self.tracer = tracer
+
+    def __getstate__(self) -> dict:
+        # A tracer holds an open file handle and locks — never serialized
+        # (session checkpoints, async-oracle worker blobs, CV payloads).
+        state = dict(self.__dict__)
+        state.pop("tracer", None)
+        return state
 
     def reset_counters(self) -> None:
         self.n_calls = 0

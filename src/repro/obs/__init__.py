@@ -1,0 +1,51 @@
+"""``repro.obs`` — dependency-free observability: tracing, metrics, reports.
+
+- :mod:`repro.obs.trace` — :class:`Tracer` (nested spans + JSONL
+  streaming) and :class:`TracingCallback` (attach to a search via the
+  callback protocol). Off by default; never perturbs the trajectory.
+- :mod:`repro.obs.metrics` — counters / gauges / histograms and the
+  Prometheus text renderer behind ``GET /metrics``.
+- :mod:`repro.obs.report` — the ``repro trace`` terminal report
+  (Table-II bucket breakdown, span tree, histogram summaries).
+- :mod:`repro.obs.runmeta` — environment header attached to traces and
+  benchmark reports.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    PROMETHEUS_CONTENT_TYPE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import render_trace_report
+from repro.obs.runmeta import run_metadata, run_metadata_header
+from repro.obs.trace import (
+    BUCKET_SPAN_NAMES,
+    TRACE_SCHEMA_VERSION,
+    TraceData,
+    Tracer,
+    TracingCallback,
+    load_trace,
+    merge_trace_metrics,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BOUNDS",
+    "PROMETHEUS_CONTENT_TYPE",
+    "Tracer",
+    "TracingCallback",
+    "TraceData",
+    "TRACE_SCHEMA_VERSION",
+    "BUCKET_SPAN_NAMES",
+    "load_trace",
+    "merge_trace_metrics",
+    "render_trace_report",
+    "run_metadata",
+    "run_metadata_header",
+]

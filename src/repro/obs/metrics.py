@@ -1,0 +1,377 @@
+"""Metric primitives: counters, gauges, histograms, and a Prometheus view.
+
+The observability layer (``repro.obs``) is dependency-free on purpose —
+these are the minimal, thread-safe primitives the tracer, the serving
+stack and the benchmarks share:
+
+- :class:`Counter` — monotonically increasing count (requests served,
+  evaluations landed, cache hits). Rendered as ``<name>_total``.
+- :class:`Gauge` — last-written value (queue depth, best score so far).
+- :class:`Histogram` — fixed-bucket distribution with exact count / sum /
+  min / max and interpolated quantiles. Buckets default to a log-spaced
+  latency ladder (microseconds to a minute), the standard shape for
+  request and evaluation timings; pass explicit ``bounds`` for anything
+  else (batch sizes, feature counts).
+- :class:`MetricsRegistry` — named get-or-create home for the above, with
+  label support, merging (for multi-process aggregation) and a
+  Prometheus text-format renderer (``GET /metrics``).
+
+Quantiles are estimated by linear interpolation inside the bucket that
+contains the requested rank, so the error is bounded by the width of that
+bucket; ``count``/``sum``/``min``/``max`` are exact. This is the same
+trade every fixed-bucket system (Prometheus histograms included) makes,
+and it keeps ``observe()`` at O(log buckets) with O(buckets) memory —
+cheap enough for the search loop's ≤5 % overhead budget.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BOUNDS",
+    "PROMETHEUS_CONTENT_TYPE",
+]
+
+# Content type of the Prometheus text exposition format, served by
+# InferenceServer's GET /metrics.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+# Log-spaced seconds ladder: 10 µs .. 60 s, roughly 3 buckets per decade.
+DEFAULT_LATENCY_BOUNDS = (
+    1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+def _format_label_suffix(labels: dict | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonic counter. ``inc`` with a negative amount is an error."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("Counter.inc amount must be >= 0")
+        with self._lock:
+            self._value += amount
+
+    def merge(self, other: "Counter") -> None:
+        with self._lock:
+            self._value += other._value
+
+    def summary(self) -> dict:
+        return {"value": self._value}
+
+    def load_summary(self, payload: dict) -> None:
+        self._value = float(payload["value"])
+
+
+class Gauge:
+    """Last-written value; ``set``/``add`` are both allowed."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    def merge(self, other: "Gauge") -> None:
+        # Merging process-local gauges has no universal semantics; "last
+        # writer wins" matches how a scrape of any single process behaves.
+        with self._lock:
+            self._value = other._value
+
+    def summary(self) -> dict:
+        return {"value": self._value}
+
+    def load_summary(self, payload: dict) -> None:
+        self._value = float(payload["value"])
+
+
+class Histogram:
+    """Fixed-bucket distribution with exact count/sum/min/max.
+
+    ``bounds`` are the *upper* edges of the finite buckets (ascending);
+    one implicit overflow bucket catches everything above the last bound.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        bounds: tuple | list | None = None,
+        labels: dict | None = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        bounds = tuple(bounds) if bounds is not None else DEFAULT_LATENCY_BOUNDS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("bounds must be a non-empty ascending sequence")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1 = overflow bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    # -- recording ---------------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile; error bounded by the containing bucket.
+
+        The exact ``min``/``max`` clamp the first and last occupied
+        buckets, so single-bucket distributions still come back sane.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must lie in [0, 1]")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        for idx, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            lo = self.bounds[idx - 1] if idx > 0 else 0.0
+            hi = self.bounds[idx] if idx < len(self.bounds) else self._max
+            # Clamp the interpolation window to the observed range.
+            lo = max(lo, self._min) if cumulative == 0 else lo
+            hi = min(hi, self._max)
+            if rank <= cumulative + bucket_count:
+                frac = (rank - cumulative) / bucket_count
+                return lo + (hi - lo) * min(max(frac, 0.0), 1.0)
+            cumulative += bucket_count
+        return self._max
+
+    def summary(self) -> dict:
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "bounds": list(self.bounds),
+            "counts": list(self._counts),
+        }
+
+    def load_summary(self, payload: dict) -> None:
+        """Restore recorded state from a :meth:`summary` payload (JSONL)."""
+        if list(payload["bounds"]) != list(self.bounds):
+            raise ValueError(
+                f"histogram {self.name!r}: bounds mismatch on load "
+                f"({payload['bounds']} != {list(self.bounds)})"
+            )
+        self._counts = [int(c) for c in payload["counts"]]
+        self._count = int(payload["count"])
+        self._sum = float(payload["sum"])
+        self._min = float(payload["min"]) if self._count else float("inf")
+        self._max = float(payload["max"]) if self._count else float("-inf")
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({self.name!r}: {len(self.bounds)} vs {len(other.bounds)} edges)"
+            )
+        with self._lock:
+            for i, c in enumerate(other._counts):
+                self._counts[i] += c
+            self._count += other._count
+            self._sum += other._sum
+            if other._count:
+                self._min = min(self._min, other._min)
+                self._max = max(self._max, other._max)
+
+
+class MetricsRegistry:
+    """Named get-or-create home for metrics, with labels and merging."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _key(name: str, labels: dict | None) -> tuple:
+        return (name, tuple(sorted((labels or {}).items())))
+
+    def _get_or_create(self, cls, name, help, labels, **kwargs):
+        key = self._key(name, labels)
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, help=help, labels=labels, **kwargs)
+                self._metrics[key] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {type(metric).__name__}"
+                )
+            return metric
+
+    def counter(self, name: str, help: str = "", labels: dict | None = None) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: dict | None = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        bounds: tuple | list | None = None,
+        labels: dict | None = None,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, bounds=bounds)
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.values(), key=lambda m: (m.name, sorted(m.labels.items()))))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str, labels: dict | None = None):
+        return self._metrics.get(self._key(name, labels))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in (summing counters/histograms)."""
+        for metric in other:
+            if isinstance(metric, Counter):
+                self.counter(metric.name, metric.help, metric.labels).merge(metric)
+            elif isinstance(metric, Gauge):
+                self.gauge(metric.name, metric.help, metric.labels).merge(metric)
+            elif isinstance(metric, Histogram):
+                self.histogram(
+                    metric.name, metric.help, bounds=metric.bounds, labels=metric.labels
+                ).merge(metric)
+
+    # -- renderers ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """``{rendered_name: summary_dict}`` for JSON endpoints and traces."""
+        out = {}
+        for metric in self:
+            key = metric.name + _format_label_suffix(metric.labels)
+            out[key] = {"kind": metric.kind, **metric.summary()}
+        return out
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4).
+
+        Counters render as ``<name>_total``; histograms render cumulative
+        ``_bucket{le=...}`` series plus ``_sum``/``_count``, exactly the
+        shape ``prometheus`` scrapes expect.
+        """
+        lines: list[str] = []
+        seen_headers: set[str] = set()
+
+        def header(name: str, kind: str, help_text: str) -> None:
+            if name in seen_headers:
+                return
+            seen_headers.add(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        for metric in self:
+            suffix = _format_label_suffix(metric.labels)
+            if isinstance(metric, Counter):
+                name = f"{metric.name}_total"
+                header(name, "counter", metric.help)
+                lines.append(f"{name}{suffix} {metric.value:g}")
+            elif isinstance(metric, Gauge):
+                header(metric.name, "gauge", metric.help)
+                lines.append(f"{metric.name}{suffix} {metric.value:g}")
+            elif isinstance(metric, Histogram):
+                header(metric.name, "histogram", metric.help)
+                cumulative = 0
+                for bound, count in zip(metric.bounds, metric._counts):
+                    cumulative += count
+                    le_labels = dict(metric.labels, le=f"{bound:g}")
+                    lines.append(
+                        f"{metric.name}_bucket{_format_label_suffix(le_labels)} {cumulative}"
+                    )
+                le_labels = dict(metric.labels, le="+Inf")
+                lines.append(
+                    f"{metric.name}_bucket{_format_label_suffix(le_labels)} {metric.count}"
+                )
+                lines.append(f"{metric.name}_sum{suffix} {metric.sum:g}")
+                lines.append(f"{metric.name}_count{suffix} {metric.count}")
+        return "\n".join(lines) + "\n"

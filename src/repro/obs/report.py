@@ -1,0 +1,151 @@
+"""Render recorded traces into the ``repro trace`` terminal report.
+
+Three sections, mirroring what the paper reports about runtime:
+
+1. **Time breakdown** — the Table-II buckets (optimization / estimation /
+   evaluation) summed from bucket spans, with share-of-total percentages.
+   Residual spans emitted at ``on_finish`` make these totals equal the
+   run's ``result.time`` exactly, so this table *is* Table II for the
+   recorded run.
+2. **Span tree** — spans aggregated by their path in the span hierarchy
+   (``search/episode/step/evaluation`` …), with call counts and total /
+   mean durations, indented like a profiler's call tree.
+3. **Metrics** — counters, gauges, and histogram summaries (count, mean,
+   p50/p90/p99, max) restored from the trace's summary records.
+
+Multiple trace files (sweep workers, serving replicas) are reported
+side-by-side for spans and *merged* for metrics — counters and
+histograms sum exactly across processes.
+"""
+
+from __future__ import annotations
+
+from repro.obs.trace import BUCKET_SPAN_NAMES, TraceData, load_trace, merge_trace_metrics
+
+__all__ = ["render_trace_report", "render_bucket_table", "render_span_tree"]
+
+_INDENT = "  "
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:8.1f}s"
+    if seconds >= 0.1:
+        return f"{seconds:8.3f}s"
+    return f"{seconds * 1e3:7.3f}ms"
+
+
+def render_bucket_table(traces: list[TraceData]) -> str:
+    """The Table-II style breakdown, summed over all given traces."""
+    totals = dict.fromkeys(BUCKET_SPAN_NAMES, 0.0)
+    for trace in traces:
+        for name, value in trace.bucket_totals().items():
+            totals[name] += value
+    grand = sum(totals.values())
+    lines = ["Time breakdown (Table II buckets)", "-" * 48]
+    for name in BUCKET_SPAN_NAMES:
+        share = 100.0 * totals[name] / grand if grand else 0.0
+        lines.append(f"  {name:<14} {_fmt_seconds(totals[name])}   {share:5.1f}%")
+    lines.append(f"  {'total':<14} {_fmt_seconds(grand)}   100.0%")
+    return "\n".join(lines)
+
+
+def _span_paths(trace: TraceData) -> dict[tuple, list[float]]:
+    """Aggregate span durations by hierarchy path (root → leaf names)."""
+    by_id = {span["id"]: span for span in trace.spans}
+    paths: dict[tuple, list[float]] = {}
+
+    def path_of(span: dict) -> tuple:
+        names: list[str] = []
+        seen: set[int] = set()
+        cursor = span
+        while cursor is not None and cursor["id"] not in seen:
+            seen.add(cursor["id"])
+            names.append(cursor["name"])
+            parent = cursor.get("parent")
+            # Parents evicted from a bounded ring are simply absent; the
+            # span then roots at its deepest still-known ancestor.
+            cursor = by_id.get(parent) if parent is not None else None
+        return tuple(reversed(names))
+
+    for span in trace.spans:
+        paths.setdefault(path_of(span), []).append(span["dur"])
+    return paths
+
+
+def render_span_tree(trace: TraceData) -> str:
+    """Profiler-style call tree: count, total, and mean per span path."""
+    paths = _span_paths(trace)
+    if not paths:
+        return "  (no spans recorded)"
+    lines = [f"  {'span':<44} {'count':>6} {'total':>10} {'mean':>10}"]
+    for path in sorted(paths):
+        durations = paths[path]
+        label = _INDENT * (len(path) - 1) + path[-1]
+        total = sum(durations)
+        mean = total / len(durations)
+        lines.append(
+            f"  {label:<44} {len(durations):>6} {_fmt_seconds(total):>10}"
+            f" {_fmt_seconds(mean):>10}"
+        )
+    return "\n".join(lines)
+
+
+def _render_metrics(traces: list[TraceData]) -> str:
+    merged = merge_trace_metrics(traces)
+    if not len(merged):
+        return "  (no metrics recorded)"
+    lines: list[str] = []
+    for metric in merged:
+        label = metric.name
+        if metric.labels:
+            label += "{" + ",".join(f"{k}={v}" for k, v in sorted(metric.labels.items())) + "}"
+        if metric.kind == "histogram":
+            lines.append(
+                f"  {label:<34} count={metric.count:<7} mean={metric.mean:.6g} "
+                f"p50={metric.quantile(0.5):.6g} p90={metric.quantile(0.9):.6g} "
+                f"p99={metric.quantile(0.99):.6g} max={metric.max:.6g}"
+            )
+        else:
+            lines.append(f"  {label:<34} {metric.kind}={metric.value:g}")
+    return "\n".join(lines)
+
+
+def _render_header(trace: TraceData) -> str:
+    meta = trace.meta
+    bits = [
+        f"repro {meta.get('repro_version', '?')}",
+        f"numpy {meta.get('numpy_version', '?')}",
+        f"python {meta.get('python_version', '?')}",
+        f"n_cores={meta.get('n_cores', '?')}",
+    ]
+    lines = [f"{trace.path}", f"  {' | '.join(bits)}"]
+    for ann in trace.annotations:
+        facts = ", ".join(f"{k}={v}" for k, v in ann.items() if k != "type")
+        lines.append(f"  {facts}")
+    if trace.elapsed is not None:
+        lines.append(f"  trace elapsed: {trace.elapsed:.3f}s")
+    return "\n".join(lines)
+
+
+def render_trace_report(paths: list[str]) -> str:
+    """Full ``repro trace`` report over one or more trace files."""
+    traces = [load_trace(p) for p in paths]
+    sections: list[str] = ["=== repro trace report ===", ""]
+    for trace in traces:
+        sections.append(_render_header(trace))
+    sections += ["", render_bucket_table(traces), ""]
+    for trace in traces:
+        if len(traces) > 1:
+            sections.append(f"Span tree — {trace.path}")
+        else:
+            sections.append("Span tree")
+        sections.append("-" * 48)
+        sections.append(render_span_tree(trace))
+        sections.append("")
+    merged_note = " (merged over all traces)" if len(traces) > 1 else ""
+    sections.append(f"Metrics{merged_note}")
+    sections.append("-" * 48)
+    sections.append(_render_metrics(traces))
+    sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,41 @@
+"""Run metadata: who/where/what produced a trace or a benchmark report.
+
+Perf numbers are only interpretable when the producing environment is
+attached — the BENCH trajectory across PRs was uninterpretable without
+knowing the core count and numpy build behind each report. Every trace
+header line and every ``benchmarks/reports/*.txt`` writer embeds this.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+
+import numpy as np
+
+from repro._version import __version__
+
+__all__ = ["run_metadata", "run_metadata_header"]
+
+
+def run_metadata() -> dict:
+    """Environment facts attached to traces and reports (JSON-safe)."""
+    return {
+        "repro_version": __version__,
+        "numpy_version": np.__version__,
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "n_cores": os.cpu_count() or 1,
+        "argv0": os.path.basename(sys.argv[0]) if sys.argv else "",
+    }
+
+
+def run_metadata_header() -> str:
+    """One ``#``-prefixed line for the top of plain-text reports."""
+    meta = run_metadata()
+    return (
+        f"# repro {meta['repro_version']} | numpy {meta['numpy_version']} | "
+        f"python {meta['python_version']} | {meta['platform']} | "
+        f"n_cores={meta['n_cores']}"
+    )

@@ -13,7 +13,7 @@ Three layers, separable on purpose:
   no sockets involved. Tests (and embedders) use this directly.
 - :class:`InferenceServer` — a stdlib ``ThreadingHTTPServer`` exposing the
   service as JSON over HTTP: ``POST /transform``, ``POST /predict``,
-  ``GET /healthz``.
+  ``GET /healthz``, ``GET /metrics`` (Prometheus text format).
 
 Request/response shapes::
 
@@ -21,11 +21,20 @@ Request/response shapes::
     POST /predict   {"rows": [[...], ...]}  -> {"predictions": [...],
                                                 "proba": [[...], ...]?}
     GET  /healthz                           -> {"status": "ok", ...stats}
+    GET  /metrics                           -> Prometheus exposition text
+
+Observability: the batcher always records per-request and per-batch
+latency histograms plus batch-size distributions (an ``observe()`` is two
+dict lookups and a bisect — noise next to a pipeline apply); ``/healthz``
+reports their p50/p99 and ``/metrics`` renders everything for scraping.
+An opt-in access log (``access_log=``, CLI ``--access-log``) restores the
+per-request lines ``log_message`` otherwise discards.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 import threading
 import time
 from collections import deque
@@ -33,15 +42,19 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
 from repro.serve.artifact import PipelineArtifact
 
 __all__ = ["MicroBatcher", "PipelineService", "InferenceServer"]
+
+# Upper bucket edges for batch-size distributions (requests and rows).
+_BATCH_SIZE_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
 
 
 class _Pending:
     """One enqueued request: rows in, slice of the batched result out."""
 
-    __slots__ = ("kind", "rows", "event", "result", "error")
+    __slots__ = ("kind", "rows", "event", "result", "error", "t_submit")
 
     def __init__(self, kind: str, rows: np.ndarray) -> None:
         self.kind = kind
@@ -49,6 +62,7 @@ class _Pending:
         self.event = threading.Event()
         self.result: dict | None = None
         self.error: Exception | None = None
+        self.t_submit = time.perf_counter()
 
 
 class MicroBatcher:
@@ -65,6 +79,7 @@ class MicroBatcher:
         artifact: PipelineArtifact,
         max_wait_ms: float = 2.0,
         max_batch_rows: int = 4096,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
@@ -73,6 +88,21 @@ class MicroBatcher:
         self.artifact = artifact
         self.max_wait_ms = max_wait_ms
         self.max_batch_rows = max_batch_rows
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._req_latency = self.metrics.histogram(
+            "serve_request_seconds", help="Per-request latency (submit to response)"
+        )
+        self._batch_latency = self.metrics.histogram(
+            "serve_batch_execute_seconds", help="Per-batch pipeline execution latency"
+        )
+        self._batch_requests = self.metrics.histogram(
+            "serve_batch_requests",
+            help="Requests coalesced per batch",
+            bounds=_BATCH_SIZE_BOUNDS,
+        )
+        self._batch_rows = self.metrics.histogram(
+            "serve_batch_rows", help="Rows per batch", bounds=_BATCH_SIZE_BOUNDS
+        )
         self._queue: deque[_Pending] = deque()
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
@@ -96,7 +126,10 @@ class MicroBatcher:
             self.n_requests += 1
             self._wake.notify()
         pending.event.wait()
+        self._req_latency.observe(time.perf_counter() - pending.t_submit)
+        self.metrics.counter("serve_requests", labels={"kind": kind}).inc()
         if pending.error is not None:
+            self.metrics.counter("serve_request_errors", labels={"kind": kind}).inc()
             raise pending.error
         return pending.result
 
@@ -108,12 +141,21 @@ class MicroBatcher:
 
     def stats(self) -> dict:
         with self._lock:
-            return {
+            out = {
                 "requests": self.n_requests,
                 "batches": self.n_batches,
                 "rows": self.n_rows,
                 "max_batch_requests": self.max_batch_seen,
             }
+        # Latency/batch-shape quantiles from the always-on histograms
+        # (outside the queue lock: histograms carry their own locks).
+        out["request_latency_p50"] = round(self._req_latency.quantile(0.5), 6)
+        out["request_latency_p99"] = round(self._req_latency.quantile(0.99), 6)
+        out["batch_requests_p50"] = round(self._batch_requests.quantile(0.5), 2)
+        out["batch_requests_p99"] = round(self._batch_requests.quantile(0.99), 2)
+        out["batch_rows_p50"] = round(self._batch_rows.quantile(0.5), 2)
+        out["batch_rows_p99"] = round(self._batch_rows.quantile(0.99), 2)
+        return out
 
     # -- worker side -----------------------------------------------------------
 
@@ -143,6 +185,9 @@ class MicroBatcher:
                 self.n_batches += 1
                 self.n_rows += rows
                 self.max_batch_seen = max(self.max_batch_seen, len(batch))
+        if batch:
+            self._batch_requests.observe(len(batch))
+            self._batch_rows.observe(rows)
         return batch
 
     def _execute(self, kind: str, group: list[_Pending]) -> None:
@@ -182,11 +227,13 @@ class MicroBatcher:
                 group = [p for p in batch if p.kind == kind]
                 if not group:
                     continue
+                t0 = time.perf_counter()
                 try:
                     self._execute(kind, group)
                 except Exception as exc:  # surface per-request, keep serving
                     for p in group:
                         p.error = exc
+                self._batch_latency.observe(time.perf_counter() - t0)
             for p in batch:
                 p.event.set()
 
@@ -209,6 +256,11 @@ class PipelineService:
             artifact, max_wait_ms=max_wait_ms, max_batch_rows=max_batch_rows
         )
         self._started = time.monotonic()
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The serving metrics registry (rendered by ``GET /metrics``)."""
+        return self.batcher.metrics
 
     def _rows(self, rows) -> np.ndarray:
         arr = np.asarray(rows, dtype=float)
@@ -246,14 +298,33 @@ class PipelineService:
         self.batcher.close()
 
 
+_KNOWN_PATHS = ("/transform", "/predict", "/healthz", "/metrics")
+
+
 class _Handler(BaseHTTPRequestHandler):
-    # The server instance injects `service` / `on_request` via the class
-    # attributes of a per-server subclass (see InferenceServer).
+    # The server instance injects `service` / `on_request` / `access_log`
+    # via the class attributes of a per-server subclass (see
+    # InferenceServer).
     service: PipelineService = None
     on_request = staticmethod(lambda: None)
+    access_log = None  # text stream, or None for the quiet default
 
-    def log_message(self, format, *args):  # quiet by default
-        pass
+    def log_message(self, format, *args):
+        stream = self.access_log
+        if stream is None:  # quiet by default
+            return
+        stream.write(
+            "%s - - [%s] %s\n"
+            % (self.address_string(), self.log_date_time_string(), format % args)
+        )
+        stream.flush()
+
+    def _count_response(self, status: int) -> None:
+        # Known paths only, so a scanner cannot explode label cardinality.
+        path = self.path if self.path in _KNOWN_PATHS else "other"
+        self.service.metrics.counter(
+            "serve_http_responses", labels={"path": path, "status": status}
+        ).inc()
 
     def _send(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode()
@@ -262,11 +333,23 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+        self._count_response(status)
+
+    def _send_metrics(self) -> None:
+        body = self.service.metrics.render_prometheus().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self._count_response(200)
 
     def do_GET(self) -> None:
         try:
             if self.path == "/healthz":
                 self._send(200, self.service.healthz())
+            elif self.path == "/metrics":
+                self._send_metrics()
             else:
                 self._send(404, {"error": f"unknown path {self.path}"})
         finally:
@@ -317,6 +400,9 @@ class InferenceServer:
     requests have been answered — the hook ``repro serve --max-requests``
     and the tests use for bounded runs. Also usable as a context manager
     and blocking via :meth:`serve_forever`.
+
+    ``access_log`` opts into per-request log lines (CLI ``--access-log``):
+    ``True`` logs to stderr, or pass any text stream.
     """
 
     def __init__(
@@ -327,6 +413,7 @@ class InferenceServer:
         max_wait_ms: float = 2.0,
         max_batch_rows: int = 4096,
         max_requests: int | None = None,
+        access_log=None,
     ) -> None:
         self.service = PipelineService(
             artifact, max_wait_ms=max_wait_ms, max_batch_rows=max_batch_rows
@@ -336,10 +423,16 @@ class InferenceServer:
         self._served_lock = threading.Lock()
         self._done = threading.Event()
         self._cleaned = False
+        if access_log is True:
+            access_log = sys.stderr
         handler = type(
             "_BoundHandler",
             (_Handler,),
-            {"service": self.service, "on_request": staticmethod(self._count_request)},
+            {
+                "service": self.service,
+                "on_request": staticmethod(self._count_request),
+                "access_log": access_log or None,
+            },
         )
         self._http = ThreadingHTTPServer((host, port), handler)
         self._thread: threading.Thread | None = None

@@ -1,0 +1,195 @@
+"""Metric primitives: quantile correctness, monotonicity, rendering, merge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("requests")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("requests")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_merge_sums(self):
+        a, b = Counter("n"), Counter("n")
+        a.inc(3)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7
+
+    def test_summary_round_trip(self):
+        a = Counter("n")
+        a.inc(5)
+        b = Counter("n")
+        b.load_summary(a.summary())
+        assert b.value == 5
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(4)
+        g.add(-1)
+        assert g.value == 3
+
+    def test_merge_last_writer_wins(self):
+        a, b = Gauge("depth"), Gauge("depth")
+        a.set(1)
+        b.set(9)
+        a.merge(b)
+        assert a.value == 9
+
+
+class TestHistogramQuantiles:
+    def test_exact_stats(self):
+        h = Histogram("lat", bounds=(1, 2, 4, 8))
+        for v in (0.5, 1.5, 3.0, 3.5, 7.0, 20.0):
+            h.observe(v)
+        assert h.count == 6
+        assert h.sum == pytest.approx(35.5)
+        assert h.min == 0.5
+        assert h.max == 20.0
+        assert h.mean == pytest.approx(35.5 / 6)
+
+    def test_quantile_error_bounded_by_bucket_width(self):
+        # 1000 uniform values in [0, 10) against unit-width buckets: every
+        # interpolated quantile must land within one bucket of the truth.
+        h = Histogram("u", bounds=tuple(range(1, 11)))
+        values = [i * 10.0 / 1000.0 for i in range(1000)]
+        for v in values:
+            h.observe(v)
+        for q in (0.1, 0.25, 0.5, 0.9, 0.99):
+            exact = values[int(q * len(values)) - 1]
+            assert abs(h.quantile(q) - exact) <= 1.0, (q, h.quantile(q), exact)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = Histogram("one", bounds=(1.0, 10.0))
+        h.observe(5.0)
+        assert h.quantile(0.0) >= 1.0
+        assert h.quantile(1.0) == 5.0
+
+    def test_empty_histogram(self):
+        h = Histogram("empty")
+        assert h.count == 0
+        assert h.quantile(0.5) == 0.0
+        assert h.min == 0.0 and h.max == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(2, 1))
+        with pytest.raises(ValueError):
+            Histogram("lat").quantile(1.5)
+
+    def test_summary_round_trip(self):
+        a = Histogram("lat", bounds=(1, 2, 4))
+        for v in (0.5, 1.5, 9.0):
+            a.observe(v)
+        payload = a.summary()
+        b = Histogram("lat", bounds=(1, 2, 4))
+        b.load_summary(payload)
+        assert b.count == a.count
+        assert b.sum == a.sum
+        assert b.min == a.min and b.max == a.max
+        assert b.quantile(0.5) == a.quantile(0.5)
+
+    def test_load_summary_bounds_mismatch(self):
+        a = Histogram("lat", bounds=(1, 2))
+        with pytest.raises(ValueError):
+            Histogram("lat", bounds=(1, 3)).load_summary(a.summary())
+
+    def test_merge(self):
+        a = Histogram("lat", bounds=(1, 2))
+        b = Histogram("lat", bounds=(1, 2))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.min == 0.5 and a.max == 5.0
+        with pytest.raises(ValueError):
+            a.merge(Histogram("lat", bounds=(1, 3)))
+
+
+class TestRegistry:
+    def test_get_or_create_and_labels(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("hits", labels={"kind": "a"})
+        c2 = reg.counter("hits", labels={"kind": "a"})
+        c3 = reg.counter("hits", labels={"kind": "b"})
+        assert c1 is c2 and c1 is not c3
+        assert len(reg) == 2
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_default_latency_bounds(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        assert h.bounds == DEFAULT_LATENCY_BOUNDS
+
+    def test_merge_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(1)
+        b.counter("n").inc(2)
+        b.histogram("lat", bounds=(1, 2)).observe(0.5)
+        a.merge(b)
+        assert a.counter("n").value == 3
+        assert a.histogram("lat", bounds=(1, 2)).count == 1
+
+    def test_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("n", labels={"k": "v"}).inc(2)
+        snap = reg.snapshot()
+        assert snap['n{k="v"}'] == {"kind": "counter", "value": 2.0}
+
+
+class TestPrometheusRender:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.counter("requests", help="total requests").inc(3)
+        reg.gauge("depth").set(2)
+        text = reg.render_prometheus()
+        assert "# HELP requests_total total requests" in text
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 3" in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 2" in text
+        assert text.endswith("\n")
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(1, 2))
+        for v in (0.5, 0.7, 1.5, 9.0):
+            h.observe(v)
+        text = reg.render_prometheus()
+        assert '# TYPE lat histogram' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="2"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_count 4" in text
+        assert "lat_sum 11.7" in text
+
+    def test_labels_render(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", labels={"kind": "a"}).inc()
+        assert 'hits_total{kind="a"} 1' in reg.render_prometheus()

@@ -1,0 +1,167 @@
+"""Tracer: span nesting, exception safety, JSONL schema round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    load_trace,
+    merge_trace_metrics,
+)
+
+
+class TestSpanNesting:
+    def test_parent_links(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        spans = {s["name"]: s for s in tracer.spans}
+        assert spans["inner"]["parent"] == outer
+        assert "parent" not in spans["outer"]
+        assert spans["outer"]["dur"] >= spans["inner"]["dur"]
+
+    def test_exception_tags_and_unwinds(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        spans = {s["name"]: s for s in tracer.spans}
+        # Both spans closed (stack fully unwound) and the failing one is
+        # tagged; the outer context manager re-tags itself on the way out.
+        assert spans["inner"]["attrs"]["error"] == "RuntimeError"
+        assert spans["outer"]["attrs"]["error"] == "RuntimeError"
+        assert tracer._stack() == []
+        # A fresh span after the exception is parentless, not a phantom child.
+        with tracer.span("after"):
+            pass
+        assert "parent" not in [s for s in tracer.spans if s["name"] == "after"][0]
+
+    def test_end_closes_down_to_target(self):
+        tracer = Tracer()
+        outer = tracer.begin("outer")
+        tracer.begin("mid")
+        tracer.begin("leaf")
+        tracer.end(outer)  # closes leaf, mid, then outer
+        assert [s["name"] for s in tracer.spans] == ["leaf", "mid", "outer"]
+        assert tracer._stack() == []
+
+    def test_end_errors(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            tracer.end()
+        tracer.begin("open")
+        with pytest.raises(RuntimeError):
+            tracer.end(999)
+
+    def test_record_span_parents_to_open_span(self):
+        tracer = Tracer()
+        with tracer.span("step") as sid:
+            child = tracer.record_span("evaluation", 0.25, kind="step")
+        record = [s for s in tracer.spans if s["id"] == child][0]
+        assert record["parent"] == sid
+        assert record["dur"] == 0.25
+        orphan = tracer.record_span("evaluation", 0.1)
+        assert "parent" not in [s for s in tracer.spans if s["id"] == orphan][0]
+
+    def test_span_ring_is_bounded(self):
+        tracer = Tracer(max_spans=8)
+        for i in range(50):
+            tracer.record_span("s", 0.001, i=i)
+        assert len(tracer.spans) == 8
+        assert [s["attrs"]["i"] for s in tracer.spans] == list(range(42, 50))
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestJsonlRoundTrip:
+    def test_schema_round_trip(self, tmp_path):
+        path = tmp_path / "run.trace.jsonl"
+        with Tracer(path=str(path), meta={"run": "unit"}) as tracer:
+            with tracer.span("search", task="classification"):
+                tracer.record_span("evaluation", 0.5, kind="base_score")
+            tracer.count("search.steps", 3)
+            tracer.gauge("search.best_score", 0.9)
+            tracer.observe("search.step_seconds", 0.02)
+            tracer.annotate(best_score=0.9)
+
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["schema"] == TRACE_SCHEMA_VERSION
+        assert lines[0]["run"] == "unit"
+        assert {"repro_version", "numpy_version", "n_cores", "platform"} <= set(lines[0])
+        assert lines[-1]["type"] == "end"
+
+        trace = load_trace(str(path))
+        assert trace.meta["run"] == "unit"
+        assert trace.elapsed is not None
+        assert [s["name"] for s in trace.spans] == ["evaluation", "search"]
+        assert trace.spans_named("search")[0]["attrs"]["task"] == "classification"
+        assert trace.bucket_totals()["evaluation"] == 0.5
+        assert trace.annotations == [{"type": "annotation", "best_score": 0.9}]
+        assert trace.metrics.counter("search.steps").value == 3
+        assert trace.metrics.gauge("search.best_score").value == 0.9
+        hist = trace.metrics.get("search.step_seconds")
+        assert hist.count == 1 and hist.max == 0.02
+
+    def test_file_receives_spans_evicted_from_ring(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path=str(path), max_spans=2) as tracer:
+            for i in range(10):
+                tracer.record_span("s", 0.001, i=i)
+        trace = load_trace(str(path))
+        assert len(trace.spans) == 10
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(path=str(path))
+        tracer.close()
+        assert tracer.closed
+        tracer.close()
+        content = path.read_text()
+        assert content.count('"type":"end"') == 1
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        not_jsonl = tmp_path / "a.jsonl"
+        not_jsonl.write_text("definitely not json\n")
+        with pytest.raises(ValueError, match="not JSONL"):
+            load_trace(str(not_jsonl))
+
+        no_header = tmp_path / "b.jsonl"
+        no_header.write_text('{"type":"span","id":1,"name":"x","t":0,"dur":1}\n')
+        with pytest.raises(ValueError, match="no meta header"):
+            load_trace(str(no_header))
+
+        empty = tmp_path / "c.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace(str(empty))
+
+        future = tmp_path / "d.jsonl"
+        future.write_text('{"type":"meta","schema":999}\n')
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            load_trace(str(future))
+
+
+class TestMergeTraces:
+    def test_sweep_level_aggregation(self, tmp_path):
+        paths = []
+        for worker in range(3):
+            path = tmp_path / f"worker{worker}.jsonl"
+            with Tracer(path=str(path)) as tracer:
+                tracer.count("search.steps", 4)
+                tracer.observe("search.step_seconds", 0.01 * (worker + 1))
+                tracer.gauge("search.best_score", 0.5 + 0.1 * worker)
+            paths.append(str(path))
+        merged = merge_trace_metrics([load_trace(p) for p in paths])
+        assert merged.counter("search.steps").value == 12
+        hist = merged.get("search.step_seconds")
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(0.06)
+        # Gauges keep the last trace's value.
+        assert merged.gauge("search.best_score").value == pytest.approx(0.7)

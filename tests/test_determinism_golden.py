@@ -198,3 +198,48 @@ class TestAsyncOracleGolden:
         deferred = [r for r in deferred_run.history if r.triggered and not r.is_real]
         assert deferred, "async arm never deferred a triggered evaluation"
         assert _deterministic_view(deferred_run) != _deterministic_view(serial)
+
+
+@pytest.mark.parametrize("task", ["classification", "regression"])
+class TestTracingGolden:
+    """Observability must be read-only: a search traced by
+    :class:`repro.obs.TracingCallback` must replay the *same* pinned
+    trajectory as an untraced run, on both oracle arms — and the trace it
+    writes must account for the run's Table II time exactly."""
+
+    def test_goldens_unchanged_with_tracing_on(self, task, tmp_path):
+        from repro.obs import TracingCallback, load_trace
+
+        X, y = _problem(task)
+        trace_path = tmp_path / "golden.trace.jsonl"
+        result = api.search(
+            X, y, task,
+            callbacks=[TracingCallback(path=str(trace_path))],
+            **GOLDEN_CONFIG,
+        )
+        assert _digest(result) == GOLDEN_DIGESTS[task], (
+            f"tracing perturbed the {task} golden trajectory"
+        )
+        trace = load_trace(str(trace_path))
+        buckets = trace.bucket_totals()
+        assert buckets["optimization"] == pytest.approx(result.time.optimization, abs=1e-9)
+        assert buckets["estimation"] == pytest.approx(result.time.estimation, abs=1e-9)
+        assert buckets["evaluation"] == pytest.approx(result.time.evaluation, abs=1e-9)
+        assert len(trace.spans_named("step")) == len(result.history)
+
+    def test_async_goldens_unchanged_with_tracing_on(self, task, tmp_path):
+        from repro.obs import TracingCallback
+
+        X, y = _problem(task)
+        trace_path = tmp_path / "async.trace.jsonl"
+        result = api.search(
+            X, y, task,
+            callbacks=[TracingCallback(path=str(trace_path))],
+            **ASYNC_GOLDEN_CONFIG,
+        )
+        assert _digest(result) == ASYNC_GOLDEN_DIGESTS[task], (
+            f"tracing perturbed the async-arm {task} golden trajectory"
+        )
+        assert _history_digest(result) == ASYNC_GOLDEN_HISTORY_DIGESTS[task], (
+            f"tracing perturbed the async-arm {task} step history"
+        )
