@@ -323,31 +323,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.registry is not None and args.name is None:
         print("error: --registry requires --name", file=sys.stderr)
         return 2
-    try:
-        artifact = api.load_pipeline(
-            args.artifact,
-            registry=args.registry,
-            name=args.name,
-            version=args.version,
-            tag=args.tag,
-        )
-    except (OSError, KeyError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    if args.registry is None and (args.reload or args.shadow_tag):
+        print("error: --reload/--shadow-tag require --registry", file=sys.stderr)
         return 2
-    server = api.serve(
-        artifact,
+    common = dict(
         host=args.host,
         port=args.port,
         max_wait_ms=args.max_wait_ms,
         max_batch_rows=args.max_batch_rows,
         max_requests=args.max_requests,
         access_log=args.access_log,
+        max_queue=args.max_queue,
+        deadline_ms=args.deadline_ms,
     )
+    try:
+        if args.registry is not None:
+            server = api.serve_from_registry(
+                args.registry,
+                args.name,
+                version=args.version,
+                tag=args.tag,
+                reload=args.reload,
+                shadow_tag=args.shadow_tag,
+                **common,
+            )
+        else:
+            server = api.serve(api.load_pipeline(args.artifact), **common)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    artifact = server.service.artifact
     summary = artifact.summary()
     print(f"serving   : {summary['task']} pipeline, {summary['n_features']} features "
-          f"({'with' if summary['has_model'] else 'no'} model)")
+          f"({'with' if summary['has_model'] else 'no'} model), "
+          f"version {server.service.version}")
     print(f"listening : {server.url}  (POST /transform, POST /predict, "
-          f"GET /healthz, GET /metrics)")
+          f"GET /healthz, GET /metrics"
+          f"{', POST /admin/reload' if args.registry and args.reload else ''})")
+    if args.max_queue is not None or args.deadline_ms is not None:
+        print(f"admission : max_queue={args.max_queue} deadline_ms={args.deadline_ms}")
+    if args.shadow_tag:
+        print(f"shadow    : mirroring traffic to tag {args.shadow_tag!r} "
+              f"({server.service.shadow.version})")
     if args.url_file:
         # Written once the socket is bound — lets scripts and tests find an
         # ephemeral --port 0 server without parsing stdout.
@@ -583,6 +600,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="row cap per coalesced batch (default: %(default)s)")
     p_srv.add_argument("--max-requests", type=int, default=None,
                        help="shut down after serving this many requests")
+    p_srv.add_argument("--max-queue", type=int, default=None,
+                       help="bound the admission queue; overflow is shed with "
+                       "HTTP 429 + Retry-After (default: unbounded)")
+    p_srv.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-request deadline; expired requests answer "
+                       "HTTP 504 (clients override with X-Deadline-Ms)")
+    p_srv.add_argument("--reload", action="store_true",
+                       help="enable POST /admin/reload: re-resolve --tag (or latest) "
+                       "in the registry and hot-swap with zero downtime")
+    p_srv.add_argument("--shadow-tag", default=None, metavar="TAG",
+                       help="mirror traffic onto this registry tag's artifact and "
+                       "count output divergences (serves the primary)")
     p_srv.add_argument("--access-log", action="store_true",
                        help="log every HTTP request to stderr (off by default)")
     p_srv.add_argument("--url-file", default=None, metavar="PATH",

@@ -86,6 +86,7 @@ __all__ = [
     "export",
     "load_pipeline",
     "serve",
+    "serve_from_registry",
 ]
 
 
@@ -324,8 +325,60 @@ def serve(
     The server is bound but not yet serving: call ``.start()`` for a
     background thread or ``.serve_forever()`` to block. ``server_kwargs``
     forward to :class:`InferenceServer` (``max_wait_ms``,
-    ``max_batch_rows``, ``max_requests``).
+    ``max_batch_rows``, ``max_requests``, ``max_queue``, ``deadline_ms``,
+    ...). For registry-backed serving with hot reload or shadow routing,
+    use :func:`serve_from_registry`.
     """
     if not isinstance(artifact, PipelineArtifact):
         artifact = PipelineArtifact.load(artifact)
     return InferenceServer(artifact, host=host, port=port, **server_kwargs)
+
+
+def serve_from_registry(
+    registry: "str | Path | ArtifactRegistry",
+    name: str,
+    *,
+    version: "int | str | None" = None,
+    tag: str | None = None,
+    reload: bool = False,
+    shadow_tag: str | None = None,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    **server_kwargs,
+) -> InferenceServer:
+    """Build an :class:`InferenceServer` resolved through a registry.
+
+    The served artifact is labeled with its registry version (responses
+    carry it as ``artifact_version``). ``reload=True`` wires
+    ``POST /admin/reload`` to re-resolve ``tag`` (or latest) and hot-swap
+    the new version with zero downtime; ``shadow_tag`` mirrors live
+    traffic onto that tag's artifact and counts output divergences.
+    """
+    reg = _resolve_registry(registry)
+    resolved = reg.resolve_version(name, version=version, tag=tag)
+    artifact = reg.get(name, version=resolved)
+    reload_source = None
+    if reload:
+        if version is not None:
+            raise ValueError(
+                "reload re-resolves a tag (or latest); it cannot follow a pinned version"
+            )
+
+        def reload_source():
+            current = reg.resolve_version(name, tag=tag)
+            return reg.get(name, version=current), current
+
+    shadow_artifact = shadow_version = None
+    if shadow_tag is not None:
+        shadow_version = reg.resolve_version(name, tag=shadow_tag)
+        shadow_artifact = reg.get(name, version=shadow_version)
+    return InferenceServer(
+        artifact,
+        host=host,
+        port=port,
+        version=resolved,
+        reload_source=reload_source,
+        shadow_artifact=shadow_artifact,
+        shadow_version=shadow_version,
+        **server_kwargs,
+    )

@@ -36,7 +36,14 @@ from repro.serve.artifact import (
 )
 from repro.serve.compile import CompiledPlan, Instruction, compile_plan
 from repro.serve.registry import ArtifactRegistry
-from repro.serve.server import InferenceServer, MicroBatcher, PipelineService
+from repro.serve.server import (
+    DeadlineExceededError,
+    InferenceServer,
+    MicroBatcher,
+    PipelineService,
+    QueueFullError,
+    ShadowRouter,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -47,7 +54,10 @@ __all__ = [
     "Instruction",
     "compile_plan",
     "ArtifactRegistry",
+    "DeadlineExceededError",
     "InferenceServer",
     "MicroBatcher",
     "PipelineService",
+    "QueueFullError",
+    "ShadowRouter",
 ]

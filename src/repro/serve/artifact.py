@@ -231,6 +231,16 @@ class PipelineArtifact:
         model = pickle.loads(model_blob) if model_blob is not None else None
         return cls(plan, manifest["task"], model=model, manifest=manifest)
 
+    @property
+    def short_hash(self) -> str | None:
+        """First 12 hex chars of the content hash (None before save).
+
+        The serving layer uses this as the default artifact version label
+        when the artifact was not resolved through a registry version.
+        """
+        content_hash = self.manifest.get("content_hash")
+        return content_hash[:12] if content_hash else None
+
     def summary(self) -> dict:
         """Compact description for logs and the server's /healthz."""
         return {

@@ -113,6 +113,36 @@ class ArtifactRegistry:
             for name in self.names()
         }
 
+    def resolve_version(
+        self,
+        name: str,
+        version: int | str | None = None,
+        tag: str | None = None,
+    ) -> str:
+        """Resolve (version|tag|latest) to a concrete published ``vNNNN``.
+
+        This is the serving layer's reload hook: re-resolving a tag after
+        a ``promote`` yields the new version string without loading the
+        artifact, so a no-op reload stays cheap.
+        """
+        if version is not None and tag is not None:
+            raise ValueError("Pass version or tag, not both")
+        if tag is not None:
+            tags = self._read_tags(name)
+            if tag not in tags:
+                raise KeyError(
+                    f"No tag {tag!r} on {name!r}; have {sorted(tags) or 'none'}"
+                )
+            return tags[tag]
+        if version is None:
+            return self.latest(name)
+        resolved = self._normalize_version(version)
+        if resolved not in self.versions(name):
+            raise KeyError(
+                f"No version {resolved} of {name!r}; have {self.versions(name)}"
+            )
+        return resolved
+
     # -- publish / get / promote ----------------------------------------------
 
     def publish(
@@ -155,18 +185,7 @@ class ArtifactRegistry:
         verify: bool = True,
     ) -> PipelineArtifact:
         """Load an artifact by explicit version, by tag, or latest."""
-        if version is not None and tag is not None:
-            raise ValueError("Pass version or tag, not both")
-        if tag is not None:
-            tags = self._read_tags(name)
-            if tag not in tags:
-                raise KeyError(
-                    f"No tag {tag!r} on {name!r}; have {sorted(tags) or 'none'}"
-                )
-            version = tags[tag]
-        resolved = (
-            self.latest(name) if version is None else self._normalize_version(version)
-        )
+        resolved = self.resolve_version(name, version=version, tag=tag)
         path = self._entry_dir(name) / resolved
         if not path.is_dir():
             raise KeyError(

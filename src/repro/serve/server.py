@@ -1,68 +1,141 @@
-"""Micro-batching inference server for pipeline artifacts.
+"""Production micro-batching inference front end for pipeline artifacts.
 
-Three layers, separable on purpose:
+Four layers, separable on purpose:
 
 - :class:`MicroBatcher` — a single worker thread that coalesces requests
   arriving within a short window into one vectorized pipeline apply. N
   concurrent single-row ``/predict`` calls cost one compiled-plan
   execution and one model predict over an (N, d) matrix instead of N of
   each — the serving-side analogue of the search-side batching the paper
-  leans on.
+  leans on. The admission queue is optionally bounded (``max_queue``):
+  overflow raises :class:`QueueFullError` instead of letting latency grow
+  without limit, per-request deadlines expire queued work that can no
+  longer be answered in time, and :meth:`swap_artifact` atomically
+  replaces the served artifact between batches (every batch runs
+  entirely on one artifact snapshot — no mixed-version responses).
+- :class:`ShadowRouter` — optional challenger artifact fed a best-effort
+  async copy of live traffic; output mismatches increment a divergence
+  counter instead of affecting responses.
 - :class:`PipelineService` — the in-process client: ``transform``,
   ``predict`` and ``healthz`` against an artifact through the batcher,
   no sockets involved. Tests (and embedders) use this directly.
-- :class:`InferenceServer` — a stdlib ``ThreadingHTTPServer`` exposing the
-  service as JSON over HTTP: ``POST /transform``, ``POST /predict``,
-  ``GET /healthz``, ``GET /metrics`` (Prometheus text format).
+- :class:`InferenceServer` — an asyncio HTTP/1.1 front end exposing the
+  service as JSON: ``POST /transform``, ``POST /predict``,
+  ``GET /healthz``, ``GET /metrics`` (Prometheus text format), and
+  ``POST /admin/reload`` for zero-downtime hot swap of a registry tag.
 
 Request/response shapes::
 
-    POST /transform {"rows": [[...], ...]}  -> {"features": [[...], ...]}
+    POST /transform {"rows": [[...], ...]}  -> {"features": [[...], ...],
+                                                "artifact_version": "..."}
     POST /predict   {"rows": [[...], ...]}  -> {"predictions": [...],
-                                                "proba": [[...], ...]?}
+                                                "proba": [[...], ...]?,
+                                                "artifact_version": "..."}
     GET  /healthz                           -> {"status": "ok", ...stats}
     GET  /metrics                           -> Prometheus exposition text
+    POST /admin/reload                      -> {"swapped": bool, ...}
+
+Error envelope: ``{"error": "..."}`` with 400 (bad input), 404 (unknown
+path), 429 + ``Retry-After`` (admission queue full), 504 (deadline
+expired), 500 (model blew up). A client disconnecting mid-response is
+counted under the ``disconnect`` status label and never kills a worker.
 
 Observability: the batcher always records per-request and per-batch
 latency histograms plus batch-size distributions (an ``observe()`` is two
 dict lookups and a bisect — noise next to a pipeline apply); ``/healthz``
-reports their p50/p99 and ``/metrics`` renders everything for scraping.
-An opt-in access log (``access_log=``, CLI ``--access-log``) restores the
-per-request lines ``log_message`` otherwise discards.
+reports their p50/p99 and ``/metrics`` renders everything for scraping,
+including ``serve_queue_depth``, ``serve_requests_shed_total``,
+``serve_deadline_expired_total``, ``serve_reloads_total`` and the shadow
+divergence counters. An opt-in access log (``access_log=``, CLI
+``--access-log``) restores per-request lines.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
+import math
+import socket
 import sys
 import threading
 import time
+import traceback
 from collections import deque
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
 from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
 from repro.serve.artifact import PipelineArtifact
 
-__all__ = ["MicroBatcher", "PipelineService", "InferenceServer"]
+__all__ = [
+    "DeadlineExceededError",
+    "InferenceServer",
+    "MicroBatcher",
+    "PipelineService",
+    "QueueFullError",
+    "ShadowRouter",
+]
 
 # Upper bucket edges for batch-size distributions (requests and rows).
 _BATCH_SIZE_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+# Waiter-side poll interval: bounds how long a client can block after the
+# worker thread has died without an explicit wake-up (the worker normally
+# sets the event; the poll is the liveness backstop).
+_WAIT_POLL_SECONDS = 0.05
+
+
+class QueueFullError(RuntimeError):
+    """The bounded admission queue rejected a request (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after: int = 1) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(RuntimeError):
+    """A request's deadline passed before its batch ran (HTTP 504)."""
+
+
+def _artifact_version_label(artifact: PipelineArtifact) -> str:
+    """Default serving version label: the saved content hash, if any."""
+    short = getattr(artifact, "short_hash", None)
+    return f"sha:{short}" if short else "unversioned"
 
 
 class _Pending:
     """One enqueued request: rows in, slice of the batched result out."""
 
-    __slots__ = ("kind", "rows", "event", "result", "error", "t_submit")
+    __slots__ = (
+        "kind",
+        "rows",
+        "event",
+        "result",
+        "error",
+        "t_submit",
+        "deadline",
+        "cancelled",
+        "on_done",
+        "served_by",
+    )
 
-    def __init__(self, kind: str, rows: np.ndarray) -> None:
+    def __init__(
+        self,
+        kind: str,
+        rows: np.ndarray,
+        deadline: float | None = None,
+        on_done=None,
+    ) -> None:
         self.kind = kind
         self.rows = rows
         self.event = threading.Event()
         self.result: dict | None = None
         self.error: Exception | None = None
         self.t_submit = time.perf_counter()
+        self.deadline = deadline  # absolute time.monotonic(), or None
+        self.cancelled = False  # waiter gave up; worker skips the work
+        self.on_done = on_done  # called (exactly once) after event.set()
+        self.served_by: str | None = None  # artifact version label
 
 
 class MicroBatcher:
@@ -72,6 +145,24 @@ class MicroBatcher:
     ``max_wait_ms`` for followers, then executes every pending request of
     each kind in a single pipeline call and fans the row slices back out.
     ``max_batch_rows`` bounds a batch; overflow rolls into the next one.
+
+    Admission control: ``max_queue`` (optional) bounds how many requests
+    may wait; overflow raises :class:`QueueFullError` immediately instead
+    of queueing unbounded latency. Requests may carry an absolute
+    ``deadline`` (``time.monotonic()`` seconds): the worker drops expired
+    requests with :class:`DeadlineExceededError` rather than spending a
+    batch slot on an answer nobody is waiting for.
+
+    Hot swap: :meth:`swap_artifact` atomically replaces the served
+    artifact. The swap happens between batches — each batch snapshots
+    ``(artifact, version)`` under the queue lock, so every response in a
+    batch comes from exactly one artifact version.
+
+    Robustness: the worker finishing a request (setting its event,
+    recording metrics) can no longer be skipped by an exception mid-batch,
+    and waiters poll worker liveness — if the worker thread dies, current
+    and future submitters get a ``RuntimeError`` instead of blocking
+    forever. :meth:`close` fails still-queued requests the same way.
     """
 
     def __init__(
@@ -80,14 +171,21 @@ class MicroBatcher:
         max_wait_ms: float = 2.0,
         max_batch_rows: int = 4096,
         metrics: MetricsRegistry | None = None,
+        *,
+        max_queue: int | None = None,
+        version: str | None = None,
     ) -> None:
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
         if max_batch_rows < 1:
             raise ValueError("max_batch_rows must be >= 1")
-        self.artifact = artifact
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (or None for unbounded)")
+        self._artifact = artifact
+        self._version = version if version is not None else _artifact_version_label(artifact)
         self.max_wait_ms = max_wait_ms
         self.max_batch_rows = max_batch_rows
+        self.max_queue = max_queue
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._req_latency = self.metrics.histogram(
             "serve_request_seconds", help="Per-request latency (submit to response)"
@@ -103,6 +201,17 @@ class MicroBatcher:
         self._batch_rows = self.metrics.histogram(
             "serve_batch_rows", help="Rows per batch", bounds=_BATCH_SIZE_BOUNDS
         )
+        self._queue_depth = self.metrics.gauge(
+            "serve_queue_depth", help="Requests waiting in the admission queue"
+        )
+        self._shed = self.metrics.counter(
+            "serve_requests_shed",
+            help="Requests rejected because the admission queue was full",
+        )
+        self._deadline_expired = self.metrics.counter(
+            "serve_deadline_expired",
+            help="Requests dropped or abandoned past their deadline",
+        )
         self._queue: deque[_Pending] = deque()
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
@@ -116,28 +225,111 @@ class MicroBatcher:
 
     # -- client side -----------------------------------------------------------
 
-    def submit(self, kind: str, rows: np.ndarray) -> dict:
-        """Enqueue one request and block until its batch has run."""
-        pending = _Pending(kind, rows)
+    @property
+    def artifact(self) -> PipelineArtifact:
+        return self._artifact
+
+    @property
+    def version(self) -> str:
+        return self._version
+
+    def swap_artifact(self, artifact: PipelineArtifact, version: str | None = None) -> str:
+        """Atomically replace the served artifact; returns the old version.
+
+        The reference swaps under the queue lock, and the worker snapshots
+        the pair at batch-claim time — in-flight batches finish on the old
+        artifact, later batches run on the new one, never a mix.
+        """
+        with self._wake:
+            previous = self._version
+            self._artifact = artifact
+            self._version = version if version is not None else _artifact_version_label(artifact)
+        return previous
+
+    def _retry_after(self) -> int:
+        """Seconds a shed client should back off: queue drain time, ceil'd."""
+        p99 = self._batch_latency.quantile(0.99)
+        if p99 <= 0:
+            return 1
+        return max(1, min(60, math.ceil(p99 * (self.max_queue or 1))))
+
+    def submit_nowait(
+        self,
+        kind: str,
+        rows: np.ndarray,
+        deadline: float | None = None,
+        on_done=None,
+    ) -> _Pending:
+        """Enqueue one request without blocking; returns its handle.
+
+        Raises :class:`QueueFullError` when the bounded queue is at
+        capacity and ``RuntimeError`` when the batcher is stopped or its
+        worker thread has died.
+        """
+        pending = _Pending(kind, rows, deadline=deadline, on_done=on_done)
         with self._wake:
             if self._stopped:
                 raise RuntimeError("MicroBatcher is stopped")
+            if not self._worker.is_alive():
+                raise RuntimeError(
+                    "MicroBatcher worker thread has died; restart the service"
+                )
+            if self.max_queue is not None and len(self._queue) >= self.max_queue:
+                self._shed.inc()
+                raise QueueFullError(
+                    f"admission queue full ({self.max_queue} waiting requests)",
+                    retry_after=self._retry_after(),
+                )
             self._queue.append(pending)
             self.n_requests += 1
+            self._queue_depth.set(len(self._queue))
             self._wake.notify()
-        pending.event.wait()
-        self._req_latency.observe(time.perf_counter() - pending.t_submit)
-        self.metrics.counter("serve_requests", labels={"kind": kind}).inc()
+        return pending
+
+    def wait_for(self, pending: _Pending) -> dict:
+        """Block until ``pending`` finishes; raise its error if it failed.
+
+        Polls worker liveness so a dead worker raises ``RuntimeError``
+        instead of hanging, and enforces the request deadline on the
+        waiter side (the worker may be mid-batch and unable to check).
+        """
+        while not pending.event.wait(timeout=_WAIT_POLL_SECONDS):
+            if pending.deadline is not None and time.monotonic() >= pending.deadline:
+                self.abandon(pending)
+                raise DeadlineExceededError(
+                    f"deadline expired after {time.perf_counter() - pending.t_submit:.3f}s"
+                )
+            if not self._worker.is_alive():
+                # Re-check after observing death: the dying worker's rescue
+                # pass may have finished this pending between our wait and
+                # the liveness read.
+                if pending.event.wait(timeout=_WAIT_POLL_SECONDS):
+                    break
+                raise RuntimeError(
+                    "MicroBatcher worker thread died while the request was queued"
+                )
         if pending.error is not None:
-            self.metrics.counter("serve_request_errors", labels={"kind": kind}).inc()
             raise pending.error
         return pending.result
+
+    def submit(self, kind: str, rows: np.ndarray, deadline: float | None = None) -> dict:
+        """Enqueue one request and block until its batch has run."""
+        return self.wait_for(self.submit_nowait(kind, rows, deadline=deadline))
+
+    def abandon(self, pending: _Pending) -> None:
+        """Waiter gave up (deadline): mark so the worker skips the work."""
+        pending.cancelled = True
+        self._deadline_expired.inc()
 
     def close(self) -> None:
         with self._wake:
             self._stopped = True
-            self._wake.notify()
+            self._wake.notify_all()
         self._worker.join(timeout=5.0)
+        # The worker's own shutdown path rescues the queue; this second
+        # pass covers a worker that was already dead (or failed to exit
+        # within the join timeout) so no pending is left waiting.
+        self._fail_queued("MicroBatcher is stopped")
 
     def stats(self) -> dict:
         with self._lock:
@@ -146,7 +338,12 @@ class MicroBatcher:
                 "batches": self.n_batches,
                 "rows": self.n_rows,
                 "max_batch_requests": self.max_batch_seen,
+                "queue_depth": len(self._queue),
+                "max_queue": self.max_queue,
+                "version": self._version,
             }
+        out["shed"] = int(self._shed.value)
+        out["deadline_expired"] = int(self._deadline_expired.value)
         # Latency/batch-shape quantiles from the always-on histograms
         # (outside the queue lock: histograms carry their own locks).
         out["request_latency_p50"] = round(self._req_latency.quantile(0.5), 6)
@@ -159,12 +356,53 @@ class MicroBatcher:
 
     # -- worker side -----------------------------------------------------------
 
-    def _drain(self) -> list[_Pending]:
-        """Wait for work, linger ``max_wait_ms`` for followers, take a batch."""
+    def _finish(self, pending: _Pending) -> None:
+        """Complete one request: metrics, wake the waiter, fire the hook.
+
+        Exception-safe by construction — ``event.set()`` runs in a
+        ``finally`` so a raising histogram or callback can never strand
+        the waiter (the pre-rebuild hang bug).
+        """
+        if pending.event.is_set():
+            return
+        try:
+            self._req_latency.observe(time.perf_counter() - pending.t_submit)
+            self.metrics.counter("serve_requests", labels={"kind": pending.kind}).inc()
+            if pending.error is not None:
+                self.metrics.counter(
+                    "serve_request_errors", labels={"kind": pending.kind}
+                ).inc()
+        finally:
+            pending.event.set()
+            if pending.on_done is not None:
+                try:
+                    pending.on_done(pending)
+                except Exception:
+                    pass
+
+    def _fail_queued(self, message: str) -> None:
+        with self._wake:
+            leftovers = list(self._queue)
+            self._queue.clear()
+            self._queue_depth.set(0)
+        for pending in leftovers:
+            pending.error = RuntimeError(message)
+            self._finish(pending)
+
+    def _drain(self):
+        """Wait for work, linger ``max_wait_ms`` for followers, take a batch.
+
+        Returns ``(batch, artifact, version)`` — the artifact pair is
+        snapshotted under the lock so the whole batch runs on one version
+        even if :meth:`swap_artifact` lands mid-execution.
+        """
+        dropped: list[_Pending] = []
         with self._wake:
             while not self._queue and not self._stopped:
                 self._wake.wait()
-            if self._queue and self.max_wait_ms > 0 and not self._stopped:
+            if self._stopped:
+                return [], None, None
+            if self._queue and self.max_wait_ms > 0:
                 # Linger on the condition — each follower's notify re-checks
                 # the row cap, so a full batch departs immediately and an
                 # idle window costs no wakeups.
@@ -178,25 +416,50 @@ class MicroBatcher:
                     self._wake.wait(timeout=remaining)
             batch: list[_Pending] = []
             rows = 0
+            now = time.monotonic()
             while self._queue and rows < self.max_batch_rows:
-                batch.append(self._queue.popleft())
-                rows += len(batch[-1].rows)
+                pending = self._queue.popleft()
+                if pending.cancelled:
+                    # Waiter already raised; nothing to compute or report.
+                    dropped.append(pending)
+                    continue
+                if pending.deadline is not None and pending.deadline <= now:
+                    pending.error = DeadlineExceededError(
+                        "deadline expired while queued"
+                    )
+                    self._deadline_expired.inc()
+                    dropped.append(pending)
+                    continue
+                batch.append(pending)
+                rows += len(pending.rows)
             if batch:
                 self.n_batches += 1
                 self.n_rows += rows
                 self.max_batch_seen = max(self.max_batch_seen, len(batch))
+            self._queue_depth.set(len(self._queue))
+            artifact, version = self._artifact, self._version
+        for pending in dropped:
+            if pending.error is None:
+                pending.error = DeadlineExceededError("request abandoned past its deadline")
+            self._finish(pending)
         if batch:
             self._batch_requests.observe(len(batch))
             self._batch_rows.observe(rows)
-        return batch
+        return batch, artifact, version
 
-    def _execute(self, kind: str, group: list[_Pending]) -> None:
+    def _execute(
+        self,
+        kind: str,
+        group: list[_Pending],
+        artifact: PipelineArtifact,
+        version: str,
+    ) -> None:
         """One vectorized pipeline call for every request of ``kind``."""
         stacked = np.vstack([p.rows for p in group])
-        features = self.artifact.transform(stacked)
+        features = artifact.transform(stacked)
         predictions = proba = None
         if kind == "predict":
-            model = self.artifact.model
+            model = artifact.model
             if model is None:
                 raise RuntimeError("Artifact carries no downstream model")
             predictions = model.predict(features)
@@ -214,35 +477,192 @@ class MicroBatcher:
                 p.result = {"predictions": predictions[offset:stop]}
                 if proba is not None:
                     p.result["proba"] = proba[offset:stop]
+            p.served_by = version
             offset = stop
 
-    def _loop(self) -> None:
-        while True:
-            batch = self._drain()
-            if not batch:
-                if self._stopped:
-                    return
-                continue
+    def _run_batch(
+        self,
+        batch: list[_Pending],
+        artifact: PipelineArtifact,
+        version: str,
+    ) -> None:
+        try:
             for kind in ("transform", "predict"):
                 group = [p for p in batch if p.kind == kind]
                 if not group:
                     continue
                 t0 = time.perf_counter()
                 try:
-                    self._execute(kind, group)
+                    self._execute(kind, group, artifact, version)
                 except Exception as exc:  # surface per-request, keep serving
                     for p in group:
                         p.error = exc
+                        p.served_by = version
                 self._batch_latency.observe(time.perf_counter() - t0)
+        finally:
+            # Every claimed request finishes, whatever happened above — a
+            # raising metrics hook must not strand a waiter.
             for p in batch:
-                p.event.set()
+                self._finish(p)
+
+    def _loop(self) -> None:
+        batch: list[_Pending] = []
+        try:
+            while True:
+                batch, artifact, version = self._drain()
+                if not batch:
+                    if self._stopped:
+                        return
+                    continue
+                self._run_batch(batch, artifact, version)
+                batch = []
+        finally:
+            # Orderly stop or crash: no claimed or queued request may be
+            # left waiting on an event nobody will ever set.
+            message = (
+                "MicroBatcher is stopped"
+                if self._stopped
+                else "MicroBatcher worker thread died"
+            )
+            for p in batch:
+                if not p.event.is_set():
+                    p.error = RuntimeError(message)
+                    self._finish(p)
+            self._fail_queued(message)
+
+
+class ShadowRouter:
+    """Mirror live traffic onto a challenger artifact, off the hot path.
+
+    ``offer`` enqueues (rows, primary result) pairs into a bounded buffer
+    consumed by a single daemon thread; when the buffer is full the pair
+    is dropped (and counted) rather than slowing the live request. The
+    worker re-runs the challenger and compares outputs exactly
+    (``np.array_equal``), incrementing ``serve_shadow_divergence`` per
+    mismatching request.
+    """
+
+    def __init__(
+        self,
+        artifact: PipelineArtifact,
+        version: str | None = None,
+        metrics: MetricsRegistry | None = None,
+        max_pending: int = 256,
+    ) -> None:
+        self.artifact = artifact
+        self.version = version if version is not None else _artifact_version_label(artifact)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.max_pending = max_pending
+        self.n_requests = 0
+        self.n_divergences = 0
+        self.n_dropped = 0
+        self.n_errors = 0
+        self._queue: deque[tuple] = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._stopped = False
+        self._busy = False
+        self._worker = threading.Thread(target=self._loop, daemon=True)
+        self._worker.start()
+
+    def offer(self, kind: str, rows: np.ndarray, primary: dict) -> bool:
+        """Queue one mirrored request; returns False when shed."""
+        with self._wake:
+            if self._stopped:
+                return False
+            if len(self._queue) >= self.max_pending:
+                self.n_dropped += 1
+                self.metrics.counter(
+                    "serve_shadow_dropped",
+                    help="Shadow comparisons shed because the mirror queue was full",
+                ).inc()
+                return False
+            self._queue.append((kind, rows, primary))
+            self._wake.notify()
+        return True
+
+    def _compare(self, kind: str, rows: np.ndarray, primary: dict) -> None:
+        features = self.artifact.transform(rows)
+        if kind == "transform":
+            diverged = not np.array_equal(features, primary["features"])
+        else:
+            model = self.artifact.model
+            if model is None:
+                raise RuntimeError("shadow artifact carries no downstream model")
+            predictions = model.predict(features)
+            diverged = not np.array_equal(predictions, primary["predictions"])
+        self.n_requests += 1
+        self.metrics.counter(
+            "serve_shadow_requests",
+            help="Live requests mirrored to the shadow artifact",
+            labels={"kind": kind},
+        ).inc()
+        if diverged:
+            self.n_divergences += 1
+            self.metrics.counter(
+                "serve_shadow_divergence",
+                help="Mirrored requests whose shadow output differed",
+                labels={"kind": kind},
+            ).inc()
+
+    def _loop(self) -> None:
+        while True:
+            with self._wake:
+                while not self._queue and not self._stopped:
+                    self._wake.wait()
+                if self._stopped and not self._queue:
+                    return
+                kind, rows, primary = self._queue.popleft()
+                self._busy = True
+            try:
+                self._compare(kind, rows, primary)
+            except Exception:
+                self.n_errors += 1
+                self.metrics.counter(
+                    "serve_shadow_errors", help="Shadow comparisons that raised"
+                ).inc()
+            finally:
+                with self._wake:
+                    self._busy = False
+                    self._wake.notify_all()
+
+    def flush(self, timeout: float = 10.0) -> bool:
+        """Block until the mirror queue is idle (tests); False on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._wake:
+            while self._queue or self._busy:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._wake.wait(timeout=remaining)
+        return True
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "version": self.version,
+                "pending": len(self._queue),
+                "requests": self.n_requests,
+                "divergences": self.n_divergences,
+                "dropped": self.n_dropped,
+                "errors": self.n_errors,
+            }
+
+    def close(self) -> None:
+        with self._wake:
+            self._stopped = True
+            self._wake.notify_all()
+        self._worker.join(timeout=5.0)
 
 
 class PipelineService:
     """In-process client: artifact + micro-batcher, no sockets.
 
     This is the object the HTTP handler delegates to, so in-process tests
-    exercise exactly the code the server runs.
+    exercise exactly the code the server runs. ``deadline_ms`` sets a
+    default per-request deadline; ``max_queue`` bounds admission;
+    ``shadow_artifact`` mirrors traffic onto a challenger through a
+    :class:`ShadowRouter`.
     """
 
     def __init__(
@@ -250,12 +670,39 @@ class PipelineService:
         artifact: PipelineArtifact,
         max_wait_ms: float = 2.0,
         max_batch_rows: int = 4096,
+        *,
+        max_queue: int | None = None,
+        deadline_ms: float | None = None,
+        version: str | None = None,
+        shadow_artifact: PipelineArtifact | None = None,
+        shadow_version: str | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
-        self.artifact = artifact
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0 (or None)")
         self.batcher = MicroBatcher(
-            artifact, max_wait_ms=max_wait_ms, max_batch_rows=max_batch_rows
+            artifact,
+            max_wait_ms=max_wait_ms,
+            max_batch_rows=max_batch_rows,
+            metrics=metrics,
+            max_queue=max_queue,
+            version=version,
         )
+        self.deadline_ms = deadline_ms
+        self.shadow: ShadowRouter | None = None
+        if shadow_artifact is not None:
+            self.shadow = ShadowRouter(
+                shadow_artifact, version=shadow_version, metrics=self.batcher.metrics
+            )
         self._started = time.monotonic()
+
+    @property
+    def artifact(self) -> PipelineArtifact:
+        return self.batcher.artifact
+
+    @property
+    def version(self) -> str:
+        return self.batcher.version
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -263,7 +710,10 @@ class PipelineService:
         return self.batcher.metrics
 
     def _rows(self, rows) -> np.ndarray:
-        arr = np.asarray(rows, dtype=float)
+        try:
+            arr = np.asarray(rows, dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"rows must be numeric: {exc}") from None
         if arr.ndim == 1:
             arr = arr.reshape(1, -1)
         if arr.ndim != 2 or arr.shape[1] != self.artifact.plan.n_input_columns:
@@ -279,115 +729,121 @@ class PipelineService:
             raise ValueError("rows must be finite numbers")
         return arr
 
+    def resolve_deadline(self, deadline_ms: float | None = None) -> float | None:
+        """Per-request override or service default, as absolute monotonic."""
+        ms = deadline_ms if deadline_ms is not None else self.deadline_ms
+        if ms is None:
+            return None
+        if ms <= 0:
+            raise ValueError("deadline_ms must be > 0")
+        return time.monotonic() + ms / 1000.0
+
+    def submit_nowait(self, kind: str, rows, deadline: float | None = None, on_done=None):
+        """Validate and enqueue without blocking (the async front end)."""
+        return self.batcher.submit_nowait(
+            kind, self._rows(rows), deadline=deadline, on_done=on_done
+        )
+
+    def shadow_offer(self, kind: str, rows: np.ndarray, result: dict) -> None:
+        if self.shadow is not None and result is not None:
+            self.shadow.offer(kind, rows, result)
+
+    def _call(self, kind: str, rows) -> dict:
+        arr = self._rows(rows)
+        result = self.batcher.submit(kind, arr, deadline=self.resolve_deadline())
+        self.shadow_offer(kind, arr, result)
+        return result
+
     def transform(self, rows) -> np.ndarray:
-        return self.batcher.submit("transform", self._rows(rows))["features"]
+        return self._call("transform", rows)["features"]
 
     def predict(self, rows) -> dict:
         """Returns ``{"predictions": ndarray, "proba": ndarray?}``."""
-        return self.batcher.submit("predict", self._rows(rows))
+        return self._call("predict", rows)
+
+    def reload(self, artifact: PipelineArtifact, version: str | None = None) -> str:
+        """Hot-swap the served artifact; returns the previous version.
+
+        Rejects artifacts with a different input width — a swap must never
+        turn valid in-flight request shapes into 400s.
+        """
+        current = self.batcher.artifact
+        if artifact.plan.n_input_columns != current.plan.n_input_columns:
+            raise ValueError(
+                f"cannot hot-swap: new artifact expects "
+                f"{artifact.plan.n_input_columns} input columns, "
+                f"serving expects {current.plan.n_input_columns}"
+            )
+        previous = self.batcher.swap_artifact(artifact, version=version)
+        self.metrics.counter(
+            "serve_reloads", help="Successful artifact hot swaps"
+        ).inc()
+        return previous
 
     def healthz(self) -> dict:
-        return {
+        out = {
             "status": "ok",
             "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "version": self.version,
             "artifact": self.artifact.summary(),
             "batcher": self.batcher.stats(),
+            "admission": {
+                "max_queue": self.batcher.max_queue,
+                "deadline_ms": self.deadline_ms,
+                "shed": int(self.batcher._shed.value),
+            },
         }
+        if self.shadow is not None:
+            out["shadow"] = self.shadow.stats()
+        return out
 
     def close(self) -> None:
         self.batcher.close()
+        if self.shadow is not None:
+            self.shadow.close()
 
 
-_KNOWN_PATHS = ("/transform", "/predict", "/healthz", "/metrics")
+# Paths with their own metric label; everything else is clamped to
+# "other" so a scanner cannot explode label cardinality.
+_KNOWN_PATHS = ("/transform", "/predict", "/healthz", "/metrics", "/admin/reload")
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    504: "Gateway Timeout",
+}
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+_MAX_HEADER_LINES = 200
 
 
-class _Handler(BaseHTTPRequestHandler):
-    # The server instance injects `service` / `on_request` / `access_log`
-    # via the class attributes of a per-server subclass (see
-    # InferenceServer).
-    service: PipelineService = None
-    on_request = staticmethod(lambda: None)
-    access_log = None  # text stream, or None for the quiet default
+class _BadRequest(Exception):
+    """Malformed HTTP framing; answered with 400 then the connection closes."""
 
-    def log_message(self, format, *args):
-        stream = self.access_log
-        if stream is None:  # quiet by default
-            return
-        stream.write(
-            "%s - - [%s] %s\n"
-            % (self.address_string(), self.log_date_time_string(), format % args)
-        )
-        stream.flush()
 
-    def _count_response(self, status: int) -> None:
-        # Known paths only, so a scanner cannot explode label cardinality.
-        path = self.path if self.path in _KNOWN_PATHS else "other"
-        self.service.metrics.counter(
-            "serve_http_responses", labels={"path": path, "status": status}
-        ).inc()
+class _ClientGone(Exception):
+    """The client disconnected mid-response; counted, never fatal."""
 
-    def _send(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-        self._count_response(status)
 
-    def _send_metrics(self) -> None:
-        body = self.service.metrics.render_prometheus().encode("utf-8")
-        self.send_response(200)
-        self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-        self._count_response(200)
+class _Request:
+    __slots__ = ("method", "target", "version", "headers", "body")
 
-    def do_GET(self) -> None:
-        try:
-            if self.path == "/healthz":
-                self._send(200, self.service.healthz())
-            elif self.path == "/metrics":
-                self._send_metrics()
-            else:
-                self._send(404, {"error": f"unknown path {self.path}"})
-        finally:
-            self.on_request()
-
-    def do_POST(self) -> None:
-        try:
-            if self.path not in ("/transform", "/predict"):
-                self._send(404, {"error": f"unknown path {self.path}"})
-                return
-            try:
-                length = int(self.headers.get("Content-Length", 0))
-                payload = json.loads(self.rfile.read(length) or b"{}")
-                rows = payload["rows"]
-            except (ValueError, KeyError, TypeError) as exc:
-                self._send(400, {"error": f"bad request body: {exc}"})
-                return
-            try:
-                if self.path == "/transform":
-                    features = self.service.transform(rows)
-                    self._send(200, {"features": features.tolist()})
-                else:
-                    out = self.service.predict(rows)
-                    body = {"predictions": out["predictions"].tolist()}
-                    if "proba" in out:
-                        body["proba"] = out["proba"].tolist()
-                    self._send(200, body)
-            except (ValueError, RuntimeError) as exc:
-                self._send(400, {"error": str(exc)})
-            except Exception as exc:  # user-supplied model blew up: answer,
-                # don't drop the connection with a bare traceback
-                self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
-        finally:
-            self.on_request()
+    def __init__(self, method, target, version, headers, body):
+        self.method = method
+        self.target = target
+        self.version = version
+        self.headers = headers  # lower-cased names
+        self.body = body
 
 
 class InferenceServer:
-    """HTTP front of a :class:`PipelineService` on ``ThreadingHTTPServer``.
+    """Asyncio HTTP front of a :class:`PipelineService`.
 
     ::
 
@@ -396,6 +852,11 @@ class InferenceServer:
         ... requests against server.url ...
         server.stop()
 
+    The listening socket is bound in ``__init__`` (so ``.url`` is valid
+    before serving starts); the event loop runs on a dedicated thread and
+    bridges to the batcher's worker via ``call_soon_threadsafe``, so slow
+    pipelines never block accepting connections.
+
     ``max_requests`` (optional) shuts the server down after that many
     requests have been answered — the hook ``repro serve --max-requests``
     and the tests use for bounded runs. Also usable as a context manager
@@ -403,6 +864,13 @@ class InferenceServer:
 
     ``access_log`` opts into per-request log lines (CLI ``--access-log``):
     ``True`` logs to stderr, or pass any text stream.
+
+    Production knobs: ``max_queue`` bounds admission (overflow answers
+    429 + ``Retry-After``), ``deadline_ms`` sets a default per-request
+    deadline (expired answers 504; clients override per request with an
+    ``X-Deadline-Ms`` header), ``reload_source`` — a zero-arg callable
+    returning ``(artifact, version)`` — enables ``POST /admin/reload``
+    hot swap, and ``shadow_artifact`` mirrors traffic to a challenger.
     """
 
     def __init__(
@@ -414,40 +882,49 @@ class InferenceServer:
         max_batch_rows: int = 4096,
         max_requests: int | None = None,
         access_log=None,
+        *,
+        max_queue: int | None = None,
+        deadline_ms: float | None = None,
+        version: str | None = None,
+        reload_source=None,
+        shadow_artifact: PipelineArtifact | None = None,
+        shadow_version: str | None = None,
     ) -> None:
         self.service = PipelineService(
-            artifact, max_wait_ms=max_wait_ms, max_batch_rows=max_batch_rows
+            artifact,
+            max_wait_ms=max_wait_ms,
+            max_batch_rows=max_batch_rows,
+            max_queue=max_queue,
+            deadline_ms=deadline_ms,
+            version=version,
+            shadow_artifact=shadow_artifact,
+            shadow_version=shadow_version,
         )
         self.max_requests = max_requests
+        self.access_log = sys.stderr if access_log is True else (access_log or None)
+        self._reload_source = reload_source
+        self._reload_lock = threading.Lock()
         self._served = 0
         self._served_lock = threading.Lock()
         self._done = threading.Event()
+        self._ready = threading.Event()
         self._cleaned = False
-        if access_log is True:
-            access_log = sys.stderr
-        handler = type(
-            "_BoundHandler",
-            (_Handler,),
-            {
-                "service": self.service,
-                "on_request": staticmethod(self._count_request),
-                "access_log": access_log or None,
-            },
-        )
-        self._http = ThreadingHTTPServer((host, port), handler)
+        self._stop_requested = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown_event: asyncio.Event | None = None
+        self._conn_tasks: set = set()
+        self._writers: set = set()
         self._thread: threading.Thread | None = None
+        # Bind eagerly: `.url` must work before start() (the CLI writes
+        # --url-file between construction and serve_forever()).
+        self._sock = socket.create_server((host, port), backlog=128)
+        self._address = self._sock.getsockname()[:2]
 
-    def _count_request(self) -> None:
-        with self._served_lock:
-            self._served += 1
-            if self.max_requests is not None and self._served >= self.max_requests:
-                self._done.set()
-                # shutdown() blocks until serve_forever exits; do it off-thread.
-                threading.Thread(target=self._http.shutdown, daemon=True).start()
+    # -- public surface --------------------------------------------------------
 
     @property
     def address(self) -> tuple[str, int]:
-        return self._http.server_address[:2]
+        return self._address
 
     @property
     def url(self) -> str:
@@ -459,27 +936,20 @@ class InferenceServer:
         with self._served_lock:
             return self._served
 
-    def _serve_loop(self) -> None:
-        """serve_forever plus cleanup — so a max_requests shutdown closes
-        the listening socket and the batcher even without an explicit
-        stop() call."""
-        try:
-            self._http.serve_forever()
-        finally:
-            self._cleanup()
-
     def start(self) -> "InferenceServer":
         """Serve on a background thread; returns self once listening."""
         if self._thread is not None:
             raise RuntimeError("Server already started")
-        self._thread = threading.Thread(target=self._serve_loop, daemon=True)
+        self._thread = threading.Thread(target=self._serve_blocking, daemon=True)
         self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("Server failed to start within 10s")
         return self
 
     def serve_forever(self) -> None:
         """Blocking serve (until stop(), Ctrl-C, or max_requests)."""
         try:
-            self._serve_loop()
+            self._serve_blocking()
         except KeyboardInterrupt:
             pass
 
@@ -488,11 +958,66 @@ class InferenceServer:
         return self._done.wait(timeout)
 
     def stop(self) -> None:
-        self._http.shutdown()
+        self._stop_requested = True
+        loop = self._loop
+        if loop is not None:
+            try:
+                loop.call_soon_threadsafe(self._signal_shutdown)
+            except RuntimeError:
+                pass  # loop already closed
         if self._thread is not None:
-            self._thread.join(timeout=5.0)
+            self._thread.join(timeout=10.0)
             self._thread = None
         self._cleanup()
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- event loop ------------------------------------------------------------
+
+    def _signal_shutdown(self) -> None:
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    def _serve_blocking(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        finally:
+            self._loop = None
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+                loop.run_until_complete(loop.shutdown_default_executor())
+            except Exception:
+                pass
+            loop.close()
+            self._cleanup()
+
+    async def _main(self) -> None:
+        self._shutdown_event = asyncio.Event()
+        if self._stop_requested or self._done.is_set():
+            self._shutdown_event.set()
+        server = await asyncio.start_server(self._handle_client, sock=self._sock)
+        self._ready.set()
+        try:
+            await self._shutdown_event.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            # Graceful drain: give in-flight handlers a moment, then abort
+            # lingering connections so shutdown stays bounded.
+            if self._conn_tasks:
+                await asyncio.wait(list(self._conn_tasks), timeout=1.0)
+            for writer in list(self._writers):
+                transport = writer.transport
+                if transport is not None:
+                    transport.abort()
+            if self._conn_tasks:
+                await asyncio.wait(list(self._conn_tasks), timeout=5.0)
 
     def _cleanup(self) -> None:
         # May run from both the serving thread (max_requests) and stop().
@@ -500,11 +1025,307 @@ class InferenceServer:
             if self._cleaned:
                 return
             self._cleaned = True
-        self._http.server_close()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
         self.service.close()
 
-    def __enter__(self) -> "InferenceServer":
-        return self.start()
+    def _note_request_served(self) -> None:
+        with self._served_lock:
+            self._served += 1
+            done = self.max_requests is not None and self._served >= self.max_requests
+        if done:
+            self._done.set()
+            self._signal_shutdown()
 
-    def __exit__(self, *exc) -> None:
-        self.stop()
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_client(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._writers.add(writer)
+        try:
+            await self._serve_connection(reader, writer)
+        except ConnectionError:
+            pass
+        except Exception:
+            # A handler bug must not kill the accept loop; surface it.
+            traceback.print_exc(file=sys.stderr)
+        finally:
+            self._writers.discard(writer)
+            self._conn_tasks.discard(task)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _read_request(self, reader) -> _Request | None:
+        try:
+            line = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError, ValueError):
+            return None
+        if not line or not line.strip():
+            return None  # EOF / client closed between requests
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            raise _BadRequest(f"malformed request line: {line!r}")
+        method, target, version = parts
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            raw = await reader.readline()
+            if not raw:
+                return None
+            text = raw.decode("latin-1").strip()
+            if not text:
+                break
+            name, sep, value = text.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        else:
+            raise _BadRequest("too many header lines")
+        body = b""
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                raise _BadRequest("invalid Content-Length") from None
+            if length < 0 or length > _MAX_BODY_BYTES:
+                raise _BadRequest(f"Content-Length {length} out of range")
+            if length:
+                body = await reader.readexactly(length)
+        return _Request(method, target, version, headers, body)
+
+    async def _serve_connection(self, reader, writer) -> None:
+        while self._shutdown_event is not None and not self._shutdown_event.is_set():
+            try:
+                request = await self._read_request(reader)
+            except asyncio.IncompleteReadError:
+                self._count_disconnect("other")
+                return
+            except _BadRequest as exc:
+                try:
+                    await self._respond_json(writer, 400, {"error": str(exc)}, "other")
+                except _ClientGone:
+                    pass
+                return
+            if request is None:
+                return
+            keep_alive = await self._dispatch(request, writer)
+            self._note_request_served()
+            if not keep_alive:
+                return
+
+    # -- response plumbing -----------------------------------------------------
+
+    def _count_response(self, path: str, status) -> None:
+        # Known paths only, so a scanner cannot explode label cardinality.
+        # `path` arrives pre-stripped of its query string (the pre-rebuild
+        # handler matched the raw target, miscounting `/healthz?probe=1`).
+        label = path if path in _KNOWN_PATHS else "other"
+        self.service.metrics.counter(
+            "serve_http_responses", labels={"path": label, "status": status}
+        ).inc()
+
+    def _count_disconnect(self, path: str) -> None:
+        self.service.metrics.counter(
+            "serve_client_disconnects",
+            help="Clients that disconnected before their response was written",
+        ).inc()
+        self._count_response(path, "disconnect")
+
+    async def _respond(
+        self, writer, status: int, body: bytes, content_type: str, path: str,
+        extra_headers=(),
+    ) -> int:
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+        ]
+        head.extend(f"{name}: {value}" for name, value in extra_headers)
+        payload = ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+        try:
+            writer.write(payload)
+            await writer.drain()
+        except ConnectionError:
+            self._count_disconnect(path)
+            raise _ClientGone from None
+        self._count_response(path, status)
+        return status
+
+    async def _respond_json(
+        self, writer, status: int, payload: dict, path: str, extra_headers=()
+    ) -> int:
+        body = json.dumps(payload).encode()
+        return await self._respond(
+            writer, status, body, "application/json", path, extra_headers
+        )
+
+    def _log_access(self, writer, method: str, target: str, status) -> None:
+        stream = self.access_log
+        if stream is None:  # quiet by default
+            return
+        peer = writer.get_extra_info("peername")
+        client = peer[0] if isinstance(peer, tuple) else "-"
+        stamp = time.strftime("%d/%b/%Y %H:%M:%S")
+        stream.write(
+            f'{client} - - [{stamp}] "{method} {target} HTTP/1.1" {status} -\n'
+        )
+        stream.flush()
+
+    # -- request dispatch ------------------------------------------------------
+
+    async def _dispatch(self, request: _Request, writer) -> bool:
+        # Strip the query string before routing *and* counting (the
+        # pre-rebuild handler matched the raw path, so `/healthz?probe=1`
+        # 404'd and was miscounted as "other").
+        path = request.target.partition("?")[0]
+        keep_alive = (
+            request.version != "HTTP/1.0"
+            and request.headers.get("connection", "").lower() != "close"
+        )
+        try:
+            if request.method == "GET" and path == "/healthz":
+                payload = dict(self.service.healthz())
+                payload["requests_served"] = self.requests_served
+                status = await self._respond_json(writer, 200, payload, path)
+            elif request.method == "GET" and path == "/metrics":
+                body = self.service.metrics.render_prometheus().encode("utf-8")
+                status = await self._respond(
+                    writer, 200, body, PROMETHEUS_CONTENT_TYPE, path
+                )
+            elif request.method == "POST" and path in ("/transform", "/predict"):
+                status = await self._handle_inference(request, writer, path)
+            elif request.method == "POST" and path == "/admin/reload":
+                status = await self._handle_reload(writer, path)
+            elif request.method in ("GET", "POST", "HEAD", "PUT", "DELETE"):
+                status = await self._respond_json(
+                    writer, 404, {"error": f"unknown path {path}"}, path
+                )
+            else:
+                status = await self._respond_json(
+                    writer, 405, {"error": f"unsupported method {request.method}"}, path
+                )
+        except _ClientGone:
+            self._log_access(writer, request.method, request.target, "disconnect")
+            return False
+        self._log_access(writer, request.method, request.target, status)
+        return keep_alive
+
+    async def _submit(self, kind: str, rows, deadline_ms: float | None):
+        """Bridge the batcher's threading.Event completion into asyncio."""
+        loop = asyncio.get_running_loop()
+        fut = loop.create_future()
+
+        def on_done(pending) -> None:
+            def resolve() -> None:
+                if not fut.done():
+                    fut.set_result(None)
+
+            try:
+                loop.call_soon_threadsafe(resolve)
+            except RuntimeError:
+                pass  # loop shut down while the batch was in flight
+
+        deadline = self.service.resolve_deadline(deadline_ms)
+        pending = self.service.submit_nowait(kind, rows, deadline=deadline, on_done=on_done)
+        if deadline is None:
+            await fut
+        else:
+            try:
+                await asyncio.wait_for(fut, timeout=max(deadline - time.monotonic(), 0.0))
+            except TimeoutError:
+                self.service.batcher.abandon(pending)
+                raise DeadlineExceededError(
+                    "deadline expired before the batch ran"
+                ) from None
+        if pending.error is not None:
+            raise pending.error
+        return pending
+
+    async def _handle_inference(self, request: _Request, writer, path: str) -> int:
+        try:
+            payload = json.loads(request.body or b"{}")
+            rows = payload["rows"]
+        except (ValueError, KeyError, TypeError) as exc:
+            return await self._respond_json(
+                writer, 400, {"error": f"bad request body: {exc}"}, path
+            )
+        deadline_ms = None
+        header = request.headers.get("x-deadline-ms")
+        if header:
+            try:
+                deadline_ms = float(header)
+                if deadline_ms <= 0:
+                    raise ValueError
+            except ValueError:
+                return await self._respond_json(
+                    writer, 400, {"error": f"invalid X-Deadline-Ms: {header!r}"}, path
+                )
+        kind = path.lstrip("/")
+        try:
+            pending = await self._submit(kind, rows, deadline_ms)
+        except QueueFullError as exc:
+            return await self._respond_json(
+                writer,
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                path,
+                extra_headers=(("Retry-After", str(exc.retry_after)),),
+            )
+        except DeadlineExceededError as exc:
+            return await self._respond_json(writer, 504, {"error": str(exc)}, path)
+        except (ValueError, RuntimeError) as exc:
+            return await self._respond_json(writer, 400, {"error": str(exc)}, path)
+        except Exception as exc:  # user-supplied model blew up: answer,
+            # don't drop the connection with a bare traceback
+            return await self._respond_json(
+                writer, 500, {"error": f"{type(exc).__name__}: {exc}"}, path
+            )
+        result = pending.result
+        if kind == "transform":
+            body = {"features": result["features"].tolist()}
+        else:
+            body = {"predictions": result["predictions"].tolist()}
+            if "proba" in result:
+                body["proba"] = result["proba"].tolist()
+        body["artifact_version"] = pending.served_by
+        self.service.shadow_offer(kind, pending.rows, result)
+        return await self._respond_json(writer, 200, body, path)
+
+    async def _handle_reload(self, writer, path: str) -> int:
+        if self._reload_source is None:
+            return await self._respond_json(
+                writer,
+                400,
+                {"error": "reload not configured; serve with --registry and --reload"},
+                path,
+            )
+        loop = asyncio.get_running_loop()
+
+        def load():
+            # Serialize reloads: two concurrent POSTs must not interleave
+            # resolve/load/swap.
+            with self._reload_lock:
+                artifact, version = self._reload_source()
+                previous = self.service.version
+                if version is not None and version == previous:
+                    return False, previous, previous
+                old = self.service.reload(artifact, version=version)
+                return True, self.service.version, old
+
+        try:
+            swapped, version, previous = await loop.run_in_executor(None, load)
+        except ValueError as exc:  # incompatible artifact shape
+            return await self._respond_json(writer, 409, {"error": str(exc)}, path)
+        except Exception as exc:
+            return await self._respond_json(
+                writer, 500, {"error": f"reload failed: {type(exc).__name__}: {exc}"}, path
+            )
+        return await self._respond_json(
+            writer,
+            200,
+            {"swapped": swapped, "version": version, "previous": previous},
+            path,
+        )

@@ -104,6 +104,20 @@ class TestParser:
         assert args.max_wait_ms == 1.5
         assert args.url_file == "u.txt"
         assert args.registry is None and args.version is None and args.tag is None
+        # Production front-end knobs default off.
+        assert args.max_queue is None and args.deadline_ms is None
+        assert args.reload is False and args.shadow_tag is None
+
+    def test_serve_frontend_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--registry", "reg", "--name", "churn", "--tag", "prod",
+             "--max-queue", "64", "--deadline-ms", "250", "--reload",
+             "--shadow-tag", "next"]
+        )
+        assert args.max_queue == 64
+        assert args.deadline_ms == 250.0
+        assert args.reload is True
+        assert args.shadow_tag == "next"
 
 
 class TestCommands:
@@ -282,6 +296,14 @@ class TestCommands:
         assert "exactly one of --artifact or --registry" in capsys.readouterr().err
         assert main(["serve", "--artifact", "/nonexistent/art"]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_serve_reload_requires_registry(self, capsys, tmp_path):
+        art = tmp_path / "art"
+        art.mkdir()
+        assert main(["serve", "--artifact", str(art), "--reload"]) == 2
+        assert "--reload/--shadow-tag require --registry" in capsys.readouterr().err
+        assert main(["serve", "--artifact", str(art), "--shadow-tag", "next"]) == 2
+        assert "require --registry" in capsys.readouterr().err
 
     def test_export_to_directory(self, capsys, tmp_path):
         out_dir = tmp_path / "artifact"
