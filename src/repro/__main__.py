@@ -218,6 +218,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.backend == "jobfile" and args.time_budget is not None:
+        print(
+            "error: --time-budget requires --backend pool (a wall-clock "
+            "cutoff would break the jobfile backend's bit-identity contract)",
+            file=sys.stderr,
+        )
+        return 2
     # Outside the try: an in-search failure keeps its traceback (the seeds
     # and flags were already validated above).
     sweep = api.sweep(
@@ -229,7 +236,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         config=config,
         feature_names=dataset.feature_names,
         time_budget=args.time_budget,
+        backend=args.backend,
+        sweep_dir=args.sweep_dir,
+        lease_timeout=args.lease_timeout,
+        max_retries=args.max_retries,
+        allow_partial=args.allow_partial,
     )
+    if sweep.is_partial:
+        print(
+            f"warning: partial sweep — seeds {sweep.failed_seeds} failed "
+            "permanently (see the sweep dir's failed.json markers)",
+            file=sys.stderr,
+        )
     print(
         f"dataset   : {dataset.name} "
         f"({dataset.n_samples}x{dataset.n_features}, {dataset.task})"
@@ -245,6 +263,149 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         with open(args.save_plan, "w") as fh:
             fh.write(best.plan.to_json(indent=2) + "\n")
         print(f"plan saved to {args.save_plan}")
+    return 0
+
+
+def _parse_seed_list(raw: str) -> list[int] | None:
+    try:
+        seeds = [int(s) for s in raw.split(",") if s.strip() != ""]
+    except ValueError:
+        return None
+    return seeds or None
+
+
+def _cmd_jobs_init(args: argparse.Namespace) -> int:
+    from repro.data import load_dataset
+    from repro.jobs import SweepSpec, init_sweep
+
+    seeds = _parse_seed_list(args.seeds)
+    if seeds is None:
+        print(f"error: --seeds must be comma-separated integers, got {args.seeds!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        config = _search_config(args)
+        spec = SweepSpec(
+            task=dataset.task,
+            seeds=seeds,
+            config=config,
+            feature_names=dataset.feature_names,
+            name=dataset.name,
+            lease_timeout=args.lease_timeout,
+            max_retries=args.max_retries,
+            checkpoint_every=args.checkpoint_every,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    init_sweep(args.sweep_dir, dataset.X, dataset.y, spec)
+    print(f"initialized sweep at {args.sweep_dir}: dataset {dataset.name}, "
+          f"seeds {seeds}")
+    print(f"run it with `repro jobs run {args.sweep_dir} --workers N` or "
+          f"`repro jobs launch {args.sweep_dir}`")
+    return 0
+
+
+def _cmd_jobs_run(args: argparse.Namespace) -> int:
+    from repro.jobs import JobFleetSupervisor
+
+    try:
+        supervisor = JobFleetSupervisor(
+            args.sweep_dir,
+            args.workers,
+            max_retries=args.max_retries,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    states = supervisor.run(reset_failed=args.reset_failed)
+    for seed in sorted(states):
+        print(f"seed {seed}: {states[seed]}")
+    failed = [s for s, st in states.items() if st != "done"]
+    return 1 if failed else 0
+
+
+def _cmd_jobs_worker(args: argparse.Namespace) -> int:
+    from repro.jobs import WORKER_LEASED, run_job
+
+    try:
+        status = run_job(args.sweep_dir, args.seed)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"seed {args.seed}: {status}")
+    return 3 if status == WORKER_LEASED else 0
+
+
+def _cmd_jobs_status(args: argparse.Namespace) -> int:
+    from repro.jobs import JobDir, load_spec
+
+    try:
+        spec = load_spec(args.sweep_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    counts: dict[str, int] = {}
+    for seed in spec.seeds:
+        job = JobDir(args.sweep_dir, seed)
+        state = job.state(spec.lease_timeout)
+        counts[state] = counts.get(state, 0) + 1
+        line = f"seed {seed}: {state}"
+        if state in ("leased", "stale"):
+            lease = job.read_lease() or {}
+            line += f" (owner {lease.get('owner')}, age {job.lease_age():.1f}s)"
+        elif state == "failed":
+            failed = job.load_failed() or {}
+            line += f" ({failed.get('last_error')})"
+        print(line)
+    print(", ".join(f"{v} {k}" for k, v in sorted(counts.items())))
+    return 0 if counts.get("done", 0) == len(spec.seeds) else 1
+
+
+def _cmd_jobs_gather(args: argparse.Namespace) -> int:
+    from repro.jobs import SweepGatherError, gather
+
+    try:
+        sweep = gather(args.sweep_dir, allow_partial=args.allow_partial)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except SweepGatherError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if sweep.is_partial:
+        print(f"warning: partial sweep — seeds {sweep.failed_seeds} failed "
+              "permanently", file=sys.stderr)
+    print(sweep.summary())
+    best = sweep.best
+    print(f"best      : seed {sweep.best_seed} "
+          f"({best.base_score:.4f} -> {best.best_score:.4f})")
+    if args.save_plan:
+        with open(args.save_plan, "w") as fh:
+            fh.write(best.plan.to_json(indent=2) + "\n")
+        print(f"plan saved to {args.save_plan}")
+    return 0
+
+
+def _cmd_jobs_launch(args: argparse.Namespace) -> int:
+    from repro.jobs import write_launcher
+
+    try:
+        path = write_launcher(
+            args.sweep_dir,
+            args.kind,
+            workers=args.workers,
+            python=args.python,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"launcher written to {path}")
+    if args.kind == "slurm":
+        print(f"submit with: sbatch {path}")
+    else:
+        print(f"run with: sh {path}")
     return 0
 
 
@@ -565,7 +726,117 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sw.add_argument("--save-plan", default=None,
                       help="write the best seed's plan JSON here")
+    p_sw.add_argument(
+        "--backend",
+        choices=["pool", "jobfile"],
+        default="pool",
+        help="'pool' runs seeds in-process; 'jobfile' runs the crash-safe "
+        "file-backed fleet (bit-identical results, survives worker crashes; "
+        "default: %(default)s)",
+    )
+    p_sw.add_argument(
+        "--sweep-dir",
+        default=None,
+        metavar="DIR",
+        help="jobfile backend: persistent sweep directory (re-running over "
+        "it resumes unfinished seeds from their checkpoints; default: a "
+        "temp dir discarded after the gather)",
+    )
+    p_sw.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        help="jobfile backend: seconds without a heartbeat before a job's "
+        "lease is reclaimed (default: %(default)s)",
+    )
+    p_sw.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="jobfile backend: failed attempts before a seed is marked "
+        "permanently failed (default: %(default)s)",
+    )
+    p_sw.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="jobfile backend: return a partial result naming failed seeds "
+        "instead of erroring when seeds exhaust their retries",
+    )
     p_sw.set_defaults(func=_cmd_sweep)
+
+    p_jobs = sub.add_parser(
+        "jobs",
+        help="crash-safe file-backed sweep fleet (init, run, gather, ...)",
+    )
+    jobs_sub = p_jobs.add_subparsers(dest="jobs_command", required=True)
+
+    p_ji = jobs_sub.add_parser(
+        "init", help="materialize a resumable sweep directory for a dataset"
+    )
+    p_ji.add_argument("sweep_dir", help="directory to create the sweep in")
+    p_ji.add_argument("dataset", help="registry dataset name")
+    _add_search_flags(p_ji)
+    p_ji.add_argument("--seeds", default="0,1,2",
+                      help="comma-separated search seeds (default: %(default)s)")
+    p_ji.add_argument("--lease-timeout", type=float, default=30.0,
+                      help="seconds without a heartbeat before a lease is "
+                      "reclaimed (default: %(default)s)")
+    p_ji.add_argument("--max-retries", type=int, default=2,
+                      help="failed attempts before a seed is marked permanently "
+                      "failed (default: %(default)s)")
+    p_ji.add_argument("--checkpoint-every", type=int, default=1,
+                      help="checkpoint each job every N episodes (default: %(default)s)")
+    p_ji.set_defaults(func=_cmd_jobs_init)
+
+    p_jr = jobs_sub.add_parser(
+        "run", help="supervise local workers until every job is done or failed"
+    )
+    p_jr.add_argument("sweep_dir", help="initialized sweep directory")
+    p_jr.add_argument("--workers", type=int, default=1,
+                      help="concurrent worker processes (-1 = all cores; "
+                      "default: %(default)s)")
+    p_jr.add_argument("--max-retries", type=int, default=None,
+                      help="override the spec's retry budget")
+    p_jr.add_argument("--reset-failed", action="store_true",
+                      help="clear permanent-failure markers first, giving "
+                      "failed seeds a fresh retry budget")
+    p_jr.set_defaults(func=_cmd_jobs_run)
+
+    p_jw = jobs_sub.add_parser(
+        "worker",
+        help="run exactly one seed (the scheduler array-task entry point); "
+        "exits 0 done, 3 lease held elsewhere, 1 failure",
+    )
+    p_jw.add_argument("sweep_dir", help="initialized sweep directory")
+    p_jw.add_argument("--seed", type=int, required=True, help="seed to run")
+    p_jw.set_defaults(func=_cmd_jobs_worker)
+
+    p_js = jobs_sub.add_parser("status", help="print per-seed job states")
+    p_js.add_argument("sweep_dir", help="initialized sweep directory")
+    p_js.set_defaults(func=_cmd_jobs_status)
+
+    p_jg = jobs_sub.add_parser(
+        "gather", help="assemble the SweepResult from completed jobs"
+    )
+    p_jg.add_argument("sweep_dir", help="initialized sweep directory")
+    p_jg.add_argument("--allow-partial", action="store_true",
+                      help="tolerate permanently failed seeds (partial result)")
+    p_jg.add_argument("--save-plan", default=None,
+                      help="write the best seed's plan JSON here")
+    p_jg.set_defaults(func=_cmd_jobs_gather)
+
+    p_jl = jobs_sub.add_parser(
+        "launch", help="write a scheduler job-array script for the sweep"
+    )
+    p_jl.add_argument("sweep_dir", help="initialized sweep directory")
+    p_jl.add_argument("--kind", choices=["slurm", "shell"], default="slurm",
+                      help="script flavor (default: %(default)s)")
+    p_jl.add_argument("--workers", type=int, default=4,
+                      help="shell kind: concurrent workers (default: %(default)s)")
+    p_jl.add_argument("--python", default="python",
+                      help="python executable the script should invoke "
+                      "(default: %(default)s)")
+    p_jl.set_defaults(func=_cmd_jobs_launch)
 
     p_ex = sub.add_parser(
         "export",

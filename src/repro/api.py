@@ -50,6 +50,7 @@ contract in :mod:`repro.core.parallel`).
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Iterable
 
 import numpy as np
@@ -221,6 +222,11 @@ def sweep(
     callbacks_factory: Callable[[str], list[Callback]] | None = None,
     cache: "EvaluationCache | SharedEvaluationCache | None" = None,
     time_budget: float | None = None,
+    backend: str = "pool",
+    sweep_dir: "str | Path | None" = None,
+    lease_timeout: float = 30.0,
+    max_retries: int = 2,
+    allow_partial: bool = False,
     **config_overrides: Any,
 ) -> SweepResult:
     """Run the paper's multi-seed protocol: one seeded search per seed.
@@ -231,7 +237,63 @@ def sweep(
     deterministic seed-order tie-break. ``n_jobs`` fans seeds out across
     worker processes; every per-seed result is bit-identical to the same
     seed run serially (see :mod:`repro.core.parallel`).
+
+    ``backend`` selects the execution substrate:
+
+    - ``"pool"`` (default): the in-process orchestrator above.
+    - ``"jobfile"``: the crash-safe file-backed fleet
+      (:mod:`repro.jobs`) — one resumable job per seed under
+      ``sweep_dir`` (a temp dir when ``None``), coordinated through
+      lease files and a durable oracle cache. Per-seed results are
+      bit-identical to the pool's, including across worker crashes.
+      ``lease_timeout``/``max_retries`` tune reclaim and retry;
+      ``allow_partial=True`` returns a partial result with
+      ``failed_seeds`` instead of raising when seeds exhaust their
+      retries. ``callbacks_factory`` and ``time_budget`` are
+      pool-only (live callbacks cannot cross a crash boundary, and a
+      deadline would break run-to-run determinism) — passing them
+      with this backend raises.
     """
+    if backend == "jobfile":
+        if callbacks_factory is not None:
+            raise ValueError(
+                "callbacks_factory is not supported with backend='jobfile': "
+                "fleet workers run in independent (possibly remote) processes "
+                "and may restart at any point, so live callbacks cannot be "
+                "delivered; use backend='pool' or attach callbacks per-job "
+                "via repro.jobs.run_job(extra_callbacks=...)"
+            )
+        if time_budget is not None:
+            raise ValueError(
+                "time_budget is not supported with backend='jobfile': a "
+                "wall-clock cutoff would make the result depend on crash/retry "
+                "timing and break the backend's bit-identity contract; "
+                "use backend='pool' for budgeted exploratory runs"
+            )
+        from repro.jobs import run_jobfile_sweep
+
+        local_cache = None
+        if cache is not None:
+            # SharedEvaluationCache has the same snapshot/merge surface as
+            # EvaluationCache, which is all run_jobfile_sweep touches.
+            local_cache = cache
+        return run_jobfile_sweep(
+            X,
+            y,
+            task,
+            seeds=seeds,
+            config=config,
+            feature_names=feature_names,
+            sweep_dir=None if sweep_dir is None else os.fspath(sweep_dir),
+            n_workers=(os.cpu_count() or 1) if n_jobs == -1 else max(1, n_jobs),
+            lease_timeout=lease_timeout,
+            max_retries=max_retries,
+            allow_partial=allow_partial,
+            cache=local_cache,
+            **config_overrides,
+        )
+    if backend != "pool":
+        raise ValueError(f"unknown sweep backend {backend!r}; choose 'pool' or 'jobfile'")
     orchestrator = SearchOrchestrator(
         n_jobs,
         cache=cache,

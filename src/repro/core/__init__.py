@@ -56,7 +56,7 @@ from repro.core.predictor import PerformancePredictor, SequenceRegressor
 from repro.core.result import FastFTResult, StepRecord, TimeBreakdown
 from repro.core.reward import NoveltyWeightSchedule, downstream_reward, pseudo_reward
 from repro.core.sequence import FeatureNode, FeatureSpace, TransformationPlan
-from repro.core.session import SearchSession
+from repro.core.session import CheckpointCorruptError, SearchSession
 from repro.core.state import STATE_DIM, describe_matrix, rep_operation
 from repro.core.tokens import TokenVocabulary
 from repro.core.tracing import feature_importance_table, reward_peak_features
@@ -66,6 +66,7 @@ __all__ = [
     "FastFTConfig",
     "FastFTResult",
     "SearchSession",
+    "CheckpointCorruptError",
     "SearchOrchestrator",
     "SweepResult",
     "SessionView",

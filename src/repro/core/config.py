@@ -12,9 +12,12 @@ profiles (fewer episodes/steps, smaller forests) via keyword overrides.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
 
 __all__ = ["FastFTConfig"]
+
+# Tuple-typed fields that JSON round-trips as lists.
+_TUPLE_FIELDS = ("predictor_head_dims", "novelty_head_dims")
 
 
 @dataclass
@@ -169,3 +172,27 @@ class FastFTConfig:
         if self.max_features is not None:
             return max(self.max_features, n_original)
         return max(3 * n_original, n_original + 8)
+
+    # -- JSON round-trip (result files, repro.jobs sweep specs) -----------------
+
+    def to_jsonable(self) -> dict:
+        """Plain-JSON representation (tuples become lists)."""
+        return {
+            k: (list(v) if isinstance(v, tuple) else v)
+            for k, v in asdict(self).items()
+        }
+
+    @classmethod
+    def from_jsonable(cls, payload: dict) -> "FastFTConfig":
+        """Rebuild from :meth:`to_jsonable` output.
+
+        Unknown keys are dropped (a spec written by a newer build still
+        loads, minus the fields this build does not know about), and the
+        tuple-typed head-dims fields are converted back from lists.
+        """
+        known = {f.name for f in fields(cls)}
+        raw = {k: v for k, v in payload.items() if k in known}
+        for key in _TUPLE_FIELDS:
+            if key in raw and raw[key] is not None:
+                raw[key] = tuple(raw[key])
+        return cls(**raw)

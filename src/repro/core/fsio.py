@@ -1,0 +1,73 @@
+"""Crash-safe filesystem primitives shared by every durable-state writer.
+
+The repo's crash-only contract — any process may die at any instruction
+and a restart converges to the same result — rests on one discipline:
+durable files are never written in place. A writer stages the complete
+payload in a temporary sibling, flushes it to the device, and publishes
+it with ``os.replace`` (atomic on POSIX within one filesystem), so a
+reader can only ever observe *no file* or the *complete* file, never a
+torn prefix. The directory entry itself is fsynced afterwards so the
+rename survives a power loss too.
+
+Used by :meth:`repro.core.session.SearchSession.checkpoint`,
+:meth:`repro.core.result.FastFTResult.save`, and throughout
+:mod:`repro.jobs` (specs, leases, results, failure markers).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "fsync_dir"]
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory so a just-published rename survives power loss.
+
+    Silently skipped where directories cannot be opened for reading
+    (some non-POSIX filesystems); the rename itself is still atomic.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes, *, fsync: bool = True) -> None:
+    """Publish ``data`` at ``path`` atomically (tmp + fsync + ``os.replace``).
+
+    The temporary file lives in the destination directory (``os.replace``
+    is only atomic within one filesystem) and is removed on any failure,
+    so a crashed writer leaves the previous version of ``path`` — or its
+    absence — fully intact.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_dir(directory)
+
+
+def atomic_write_text(path: str, text: str, *, fsync: bool = True) -> None:
+    """UTF-8 text variant of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"), fsync=fsync)

@@ -333,11 +333,22 @@ class SweepResult:
     which is also the tie-break order of :attr:`best_seed` (the *first*
     seed attaining the maximum best score wins, so selection does not
     depend on scheduling).
+
+    ``failed_seeds`` is empty for in-process sweeps (a worker failure
+    raises); a :mod:`repro.jobs` fleet gather with ``allow_partial=True``
+    populates it with the seeds that exhausted their retries, so completed
+    work is reported instead of discarded. Statistics (:attr:`scores`,
+    :attr:`score_mean`, :attr:`best_seed`, ...) cover completed seeds only.
     """
 
     task: str
     seeds: list[int] = field(default_factory=list)
     results: dict[int, FastFTResult] = field(default_factory=dict)
+    failed_seeds: list[int] = field(default_factory=list)
+
+    @property
+    def is_partial(self) -> bool:
+        return bool(self.failed_seeds)
 
     def __len__(self) -> int:
         return len(self.seeds)
@@ -395,6 +406,11 @@ class SweepResult:
             f"{'':6s} mean {self.score_mean:.4f} ± {self.score_std:.4f} "
             f"over {len(self.seeds)} seeds (* = best, seed-order tie-break)"
         )
+        if self.failed_seeds:
+            lines.append(
+                f"{'':6s} PARTIAL: seeds {self.failed_seeds} failed permanently "
+                "and are excluded from the statistics above"
+            )
         return "\n".join(lines)
 
 

@@ -14,6 +14,7 @@ from dataclasses import asdict, dataclass, field
 import numpy as np
 
 from repro.core.config import FastFTConfig
+from repro.core.fsio import atomic_write_text
 from repro.core.sequence import TransformationPlan
 
 __all__ = ["StepRecord", "TimeBreakdown", "FastFTResult"]
@@ -139,23 +140,18 @@ class FastFTResult:
                 "evaluation": self.time.evaluation,
             },
             "plan": json.loads(self.plan.to_json()),
-            "config": {
-                k: (list(v) if isinstance(v, tuple) else v)
-                for k, v in asdict(self.config).items()
-            },
+            "config": self.config.to_jsonable(),
             "history": [asdict(record) for record in self.history],
         }
-        with open(path, "w") as fh:
-            json.dump(payload, fh)
+        # Durable-state discipline: results publish atomically so a reader
+        # never observes a torn file (see repro.core.fsio).
+        atomic_write_text(path, json.dumps(payload))
 
     @classmethod
     def load(cls, path: str) -> "FastFTResult":
         """Restore a run saved by :meth:`save`."""
         with open(path) as fh:
             payload = json.load(fh)
-        config_raw = dict(payload["config"])
-        for key in ("predictor_head_dims", "novelty_head_dims"):
-            config_raw[key] = tuple(config_raw[key])
         time_raw = payload["time"]
         return cls(
             base_score=payload["base_score"],
@@ -168,6 +164,6 @@ class FastFTResult:
                 evaluation=time_raw["evaluation"],
             ),
             n_downstream_calls=payload["n_downstream_calls"],
-            config=FastFTConfig(**config_raw),
+            config=FastFTConfig.from_jsonable(payload["config"]),
             task=payload["task"],
         )

@@ -41,6 +41,7 @@ from repro.core.async_oracle import AsyncOracle
 from repro.core.callbacks import Callback, CallbackList, VerboseLogger
 from repro.core.clustering import IncrementalClusterer, RelevanceCache, cluster_features
 from repro.core.config import FastFTConfig
+from repro.core.fsio import atomic_write_bytes
 from repro.core.novelty import EmbeddingLog, NoveltyEstimator, novelty_distance
 from repro.core.operations import OPERATION_NAMES, OPERATIONS
 from repro.core.predictor import PerformancePredictor
@@ -57,12 +58,26 @@ from repro.nn.tensor import no_grad
 __all__ = [
     "SearchSession",
     "make_default_evaluator",
+    "CheckpointCorruptError",
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
 ]
 
 CHECKPOINT_FORMAT = "fastft-session"
 CHECKPOINT_VERSION = 1
+
+
+class CheckpointCorruptError(ValueError):
+    """A checkpoint file exists but cannot be deserialized.
+
+    Raised by :meth:`SearchSession.resume` when the pickle stream is
+    truncated or corrupted — distinct from ``OSError`` (missing file) and
+    from the plain ``ValueError`` of a well-formed file in an unknown
+    format/version. Checkpoints are published atomically (tmp +
+    ``os.replace`` + fsync), so this error indicates external damage
+    (disk fault, manual truncation, fault injection), never an
+    interrupted writer.
+    """
 
 
 def make_default_evaluator(task: str, config: FastFTConfig) -> DownstreamEvaluator:
@@ -1022,8 +1037,10 @@ class SearchSession:
             "version": CHECKPOINT_VERSION,
             "session": self,
         }
-        with open(path, "wb") as fh:
-            pickle.dump(payload, fh)
+        # Atomic publish: a reader (or a resumed run after a crash at any
+        # instruction of this method) sees either the previous checkpoint
+        # or the complete new one, never a torn prefix.
+        atomic_write_bytes(path, pickle.dumps(payload))
 
     @classmethod
     def resume(
@@ -1035,7 +1052,20 @@ class SearchSession:
         ``verbose`` config re-adds the standard :class:`VerboseLogger`.
         """
         with open(path, "rb") as fh:
-            payload = pickle.load(fh)
+            try:
+                payload = pickle.load(fh)
+            except Exception as exc:
+                # A torn/corrupted pickle stream surfaces as any of
+                # EOFError, UnpicklingError, ValueError, ImportError, ...
+                # depending on where the damage lands; name the real
+                # problem instead of leaking an opaque pickle traceback.
+                raise CheckpointCorruptError(
+                    f"{path!r} is not a readable FastFT checkpoint: the file "
+                    f"is truncated or corrupt ({type(exc).__name__}: {exc}). "
+                    "Checkpoints are written atomically, so this indicates "
+                    "external damage — re-run from an earlier checkpoint or "
+                    "start the search fresh."
+                ) from exc
         if not isinstance(payload, dict) or payload.get("format") != CHECKPOINT_FORMAT:
             raise ValueError(f"{path!r} is not a FastFT session checkpoint")
         if payload.get("version") != CHECKPOINT_VERSION:

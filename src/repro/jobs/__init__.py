@@ -1,0 +1,57 @@
+"""Crash-safe job-fleet sweeps over a shared filesystem.
+
+``repro.jobs`` turns a :func:`repro.api.sweep` into a directory of
+independent, resumable jobs — one per seed — coordinated purely through
+files: lease files with heartbeats, atomic checkpoint/result publication,
+a durable append-only oracle cache, and retry counters. Any process (a
+worker, the supervisor, the whole host) may die at any instruction;
+re-running converges to a ``SweepResult`` bit-identical to the in-process
+pool backend's. See ``README.md`` ("Scaling out") for the workflow and
+``repro/jobs/chaos.py`` for the fault-injection layer that proves the
+claim.
+
+Entry points:
+
+- :func:`run_jobfile_sweep` — the one-call backend behind
+  ``api.sweep(..., backend="jobfile")``;
+- :func:`init_sweep` / :func:`run_job` / :class:`JobFleetSupervisor` /
+  :func:`gather` — the underlying init → work → collect protocol, also
+  exposed as ``repro jobs init|run|worker|status|gather|launch``;
+- :func:`write_launcher` — job-array scripts for schedulers.
+"""
+
+from repro.jobs.cache import DurableOracleCache, load_durable_entries
+from repro.jobs.chaos import ChaosCallback, ChaosError, ChaosSpec
+from repro.jobs.launcher import render_launcher, write_launcher
+from repro.jobs.spec import JobDir, SweepSpec, cache_dir, init_sweep, load_spec, make_owner_id
+from repro.jobs.supervisor import (
+    JobFleetSupervisor,
+    SweepGatherError,
+    gather,
+    run_jobfile_sweep,
+)
+from repro.jobs.worker import WORKER_ALREADY_DONE, WORKER_DONE, WORKER_LEASED, run_job
+
+__all__ = [
+    "ChaosCallback",
+    "ChaosError",
+    "ChaosSpec",
+    "DurableOracleCache",
+    "JobDir",
+    "JobFleetSupervisor",
+    "SweepGatherError",
+    "SweepSpec",
+    "WORKER_ALREADY_DONE",
+    "WORKER_DONE",
+    "WORKER_LEASED",
+    "cache_dir",
+    "gather",
+    "init_sweep",
+    "load_durable_entries",
+    "load_spec",
+    "make_owner_id",
+    "render_launcher",
+    "run_job",
+    "run_jobfile_sweep",
+    "write_launcher",
+]

@@ -1,0 +1,112 @@
+"""Fault injection for the job fleet: kill, hang, freeze, corrupt.
+
+The crash-only claim of :mod:`repro.jobs` — any process may die at any
+instruction and a restart converges to the same bit-identical
+``SweepResult`` — is only worth making if it is *tested*. This module is
+the chaos layer those tests (and ``benchmarks/test_jobfleet.py``) drive:
+
+- :class:`ChaosSpec` rides into a worker process (it is picklable and
+  plumbed through the supervisor's ``chaos_factory``) and arms a
+  :class:`ChaosCallback` that SIGKILLs, hangs, or raises at an exact
+  global step — mid-episode, between checkpoints, wherever the test aims;
+- ``freeze_heartbeat`` simulates a wedged-but-alive worker whose lease
+  must go stale and be reclaimed;
+- :func:`truncate_tail` / :func:`flip_byte` damage durable files the way
+  disks and interrupted writers do, for torn-tail and corrupt-result
+  recovery tests.
+
+Nothing here is imported by production code paths; workers only consult a
+chaos spec when a supervisor or test explicitly hands one over.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.core.callbacks import Callback
+
+__all__ = [
+    "ChaosSpec",
+    "ChaosError",
+    "ChaosCallback",
+    "truncate_tail",
+    "flip_byte",
+]
+
+
+class ChaosError(RuntimeError):
+    """The injected clean-failure path (exception, not SIGKILL)."""
+
+
+@dataclass
+class ChaosSpec:
+    """What to break inside one worker attempt.
+
+    ``*_at_global_step`` counts the session's *global* step numbering, so
+    a spec can target mid-episode precisely (e.g. step 4 of a
+    3-steps-per-episode schedule is step 1 of episode 2 — after episode
+    1's checkpoint, before episode 2's).
+    """
+
+    kill_at_global_step: int | None = None  # SIGKILL self — no cleanup at all
+    raise_at_global_step: int | None = None  # raise ChaosError — the clean path
+    hang_at_global_step: int | None = None  # sleep, heartbeat still live or frozen
+    hang_seconds: float = 3600.0
+    freeze_heartbeat: bool = False  # never renew the lease
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.kill_at_global_step is None
+            and self.raise_at_global_step is None
+            and self.hang_at_global_step is None
+            and not self.freeze_heartbeat
+        )
+
+
+class ChaosCallback(Callback):
+    """Arms a :class:`ChaosSpec` on the session's step stream."""
+
+    def __init__(self, spec: ChaosSpec) -> None:
+        self.spec = spec
+
+    def on_step(self, session, record) -> None:
+        step = record.global_step
+        if self.spec.hang_at_global_step is not None and step == self.spec.hang_at_global_step:
+            time.sleep(self.spec.hang_seconds)
+        if self.spec.raise_at_global_step is not None and step == self.spec.raise_at_global_step:
+            raise ChaosError(f"injected failure at global step {step}")
+        if self.spec.kill_at_global_step is not None and step == self.spec.kill_at_global_step:
+            # SIGKILL is the honest crash: no finally blocks, no flushes,
+            # no lease release — exactly what the OOM killer delivers.
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def truncate_tail(path: str, n_bytes: int) -> None:
+    """Chop ``n_bytes`` off the end of a file — a torn final write."""
+    size = os.path.getsize(path)
+    with open(path, "r+b") as fh:
+        fh.truncate(max(0, size - n_bytes))
+
+
+def flip_byte(path: str, offset: int | None = None) -> None:
+    """XOR one byte in place — silent media corruption.
+
+    ``offset`` defaults to the middle of the file; negative offsets count
+    from the end, as with ``seek``.
+    """
+    size = os.path.getsize(path)
+    if size == 0:
+        raise ValueError(f"cannot corrupt empty file {path!r}")
+    if offset is None:
+        offset = size // 2
+    if offset < 0:
+        offset += size
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes([byte[0] ^ 0xFF]))

@@ -1,0 +1,170 @@
+"""The fleet worker: claim a job, resume its checkpoint, publish its result.
+
+One worker runs one seed of a sweep to completion. Its contract is
+idempotence — running it any number of times, interleaved with crashes at
+any instruction, converges to the same published result:
+
+- a job with a valid result is a no-op (``already-done``);
+- a job whose lease another live worker holds is skipped (``leased``);
+- otherwise the worker claims the lease, heartbeats it from a daemon
+  thread, and runs the seeded :class:`~repro.core.session.SearchSession`
+  **from its last durable checkpoint** when one exists — PR 1's
+  bit-identical resume contract means a crashed-and-restarted job replays
+  the exact trajectory an uninterrupted run would have taken;
+- every downstream score it computes is appended to the sweep's durable
+  oracle cache, so a restart never re-pays CV work any attempt (by any
+  worker) already did;
+- the final result publishes atomically with a digest frame, then the
+  lease is released.
+
+A corrupt checkpoint (external damage — the write itself is atomic) is
+quarantined with a warning and the job restarts from scratch: slower,
+never wrong. Exit codes for scheduler arrays: 0 done, 3 lease contention
+(retry later), 1 failure.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import warnings
+from dataclasses import replace
+
+from repro.core.callbacks import Callback, Checkpointer
+from repro.core.session import CheckpointCorruptError, SearchSession, make_default_evaluator
+from repro.jobs.cache import DurableOracleCache
+from repro.jobs.chaos import ChaosCallback, ChaosSpec
+from repro.jobs.spec import JobDir, cache_dir, load_data, load_spec, make_owner_id
+
+__all__ = ["run_job", "WORKER_DONE", "WORKER_LEASED", "WORKER_ALREADY_DONE"]
+
+WORKER_DONE = "done"
+WORKER_ALREADY_DONE = "already-done"
+WORKER_LEASED = "leased"
+
+
+class _Heartbeat(threading.Thread):
+    """Renews the job lease until stopped or until ownership is lost.
+
+    Losing ownership (a supervisor reclaimed the lease as stale) stops the
+    renewals — a resurrected lease would fight the replacement worker —
+    but deliberately does *not* abort the run: both workers execute the
+    same deterministic search against idempotent storage, so letting the
+    zombie finish is harmless and occasionally even useful.
+    """
+
+    def __init__(self, job: JobDir, owner: str, interval: float) -> None:
+        super().__init__(name=f"fastft-lease-{job.seed}", daemon=True)
+        self._job = job
+        self._owner = owner
+        self._interval = interval
+        self._stop_flag = threading.Event()
+
+    def run(self) -> None:
+        while not self._stop_flag.wait(self._interval):
+            if not self._job.renew(self._owner):
+                return
+
+    def stop(self) -> None:
+        self._stop_flag.set()
+        self.join(timeout=5.0)
+
+
+def run_job(
+    sweep_dir: str,
+    seed: int,
+    *,
+    owner: str | None = None,
+    chaos: ChaosSpec | None = None,
+    extra_callbacks: "list[Callback] | None" = None,
+) -> str:
+    """Run one job of an initialized sweep; returns a status string.
+
+    ``owner`` defaults to a fresh unique id. ``chaos`` arms the
+    fault-injection layer (tests only). Raises on search failure — the
+    supervisor (or the scheduler) counts the attempt and retries.
+    """
+    spec = load_spec(sweep_dir)
+    if seed not in spec.seeds:
+        raise ValueError(f"seed {seed} is not part of this sweep (seeds: {spec.seeds})")
+    job = JobDir(sweep_dir, seed)
+    if job.load_result()[0] is not None:
+        return WORKER_ALREADY_DONE
+    owner = owner or make_owner_id()
+    if not job.claim(owner):
+        return WORKER_LEASED
+
+    heartbeat = None
+    cache = None
+    try:
+        if not (chaos is not None and chaos.freeze_heartbeat):
+            interval = max(0.01, spec.lease_timeout / 4.0)
+            heartbeat = _Heartbeat(job, owner, interval)
+            heartbeat.start()
+
+        cache = DurableOracleCache(cache_dir(sweep_dir), owner=owner)
+        callbacks: list[Callback] = [
+            Checkpointer(job.checkpoint_path, every_episodes=spec.checkpoint_every)
+        ]
+        if chaos is not None:
+            callbacks.append(ChaosCallback(chaos))
+        callbacks.extend(extra_callbacks or [])
+
+        session = None
+        if os.path.exists(job.checkpoint_path):
+            try:
+                session = SearchSession.resume(job.checkpoint_path, callbacks=callbacks)
+            except (CheckpointCorruptError, ValueError) as exc:
+                # Atomic writes make a *torn* checkpoint impossible; this
+                # is external damage. Quarantine and restart from scratch:
+                # the rerun is bit-identical to what an uninterrupted run
+                # would have produced, just slower.
+                warnings.warn(
+                    f"discarding unreadable checkpoint for seed {seed} "
+                    f"({exc}); restarting the job from scratch",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                try:
+                    os.replace(job.checkpoint_path, job.checkpoint_path + ".corrupt")
+                except OSError:
+                    pass
+            else:
+                # The checkpoint degraded its durable cache to a plain
+                # in-memory one (see DurableOracleCache.__getstate__);
+                # re-attach this process's own segment, pre-seeded with
+                # everything any worker ever computed.
+                evaluator = getattr(session, "_evaluator", None)
+                if evaluator is not None and hasattr(evaluator, "cache"):
+                    evaluator.cache = cache
+        if session is None:
+            config = replace(spec.config, seed=seed)
+            session = SearchSession(
+                *load_data(sweep_dir),
+                task=spec.task,
+                config=config,
+                feature_names=spec.feature_names,
+                evaluator=cache.wrap(make_default_evaluator(spec.task, config)),
+                callbacks=callbacks,
+            )
+
+        result = session.run()
+        job.publish_result(result)
+        return WORKER_DONE
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+        if cache is not None:
+            cache.close()
+        job.release(owner)
+
+
+def _process_entry(sweep_dir: str, seed: int, owner: str, chaos: ChaosSpec | None) -> None:
+    """Worker-process body: maps :func:`run_job` statuses onto exit codes."""
+    try:
+        status = run_job(sweep_dir, seed, owner=owner, chaos=chaos)
+    except Exception as exc:  # the supervisor counts the attempt and retries
+        print(f"[fastft-jobs] seed={seed} failed: {exc!r}", file=sys.stderr)
+        sys.exit(1)
+    sys.exit(3 if status == WORKER_LEASED else 0)

@@ -214,6 +214,20 @@ class SharedEvaluationCache:
         """Pre-populate the shared store from a local cache's entries."""
         self._entries.update(cache.snapshot_entries())
 
+    def merge_entries(self, entries: "Mapping[str, float]") -> int:
+        """Absorb entries from another cache; returns how many were new.
+
+        Mirrors :meth:`EvaluationCache.merge_entries` so shared and local
+        caches are interchangeable to callers (e.g. the jobfile sweep
+        backend folding durable segments back into the caller's cache).
+        """
+        added = 0
+        for key, score in entries.items():
+            if key not in self._entries:
+                added += 1
+            self.put(key, score)
+        return added
+
     def merge_into(self, cache: EvaluationCache) -> int:
         """Fold the shared entries into a local cache; returns new entries."""
         return cache.merge_entries(self.snapshot_entries())

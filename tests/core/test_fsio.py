@@ -1,0 +1,80 @@
+"""repro.core.fsio: atomic publication — readers see absent or complete."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import fsio
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        fsio.atomic_write_bytes(path, b"one")
+        assert open(path, "rb").read() == b"one"
+        fsio.atomic_write_bytes(path, b"two")
+        assert open(path, "rb").read() == b"two"
+        fsio.atomic_write_text(path, "three")
+        assert open(path, encoding="utf-8").read() == "three"
+
+    def test_no_temp_files_survive_success(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        for _ in range(3):
+            fsio.atomic_write_bytes(path, b"payload")
+        assert os.listdir(tmp_path) == ["out.bin"]
+
+    def test_failed_publish_leaves_old_content_and_no_litter(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash at the publish step (os.replace) must leave the previous
+        version untouched and clean up its temp file."""
+        path = str(tmp_path / "out.bin")
+        fsio.atomic_write_bytes(path, b"durable")
+
+        def exploding_replace(src, dst):
+            raise OSError("injected crash at publish")
+
+        monkeypatch.setattr(fsio.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="injected crash"):
+            fsio.atomic_write_bytes(path, b"never lands")
+        monkeypatch.undo()
+        assert open(path, "rb").read() == b"durable"
+        assert os.listdir(tmp_path) == ["out.bin"]
+
+    def test_fsync_dir_tolerates_plain_directories(self, tmp_path):
+        fsio.fsync_dir(str(tmp_path))  # must not raise
+
+
+class TestCheckpointAtomicity:
+    def test_crash_during_checkpoint_preserves_previous_checkpoint(
+        self, tmp_path, monkeypatch, binary_data
+    ):
+        """The PR's motivating bug: a crash mid-checkpoint used to leave a
+        torn file; now the previous durable checkpoint survives."""
+        from repro.core.config import FastFTConfig
+        from repro.core.session import SearchSession
+
+        X, y = binary_data
+        config = FastFTConfig(
+            episodes=2, steps_per_episode=2, cold_start_episodes=1,
+            retrain_every_episodes=1, component_epochs=2, trigger_warmup=2,
+            cv_splits=2, rf_estimators=2, max_clusters=3, mi_max_rows=64,
+        )
+        path = str(tmp_path / "ckpt.pkl")
+        session = SearchSession(X, y, config=config)
+        session.run(until=1)
+        session.checkpoint(path)
+        good = open(path, "rb").read()
+
+        session.run(until=2)
+        monkeypatch.setattr(
+            fsio.os, "replace", lambda s, d: (_ for _ in ()).throw(OSError("crash"))
+        )
+        with pytest.raises(OSError, match="crash"):
+            session.checkpoint(path)
+        monkeypatch.undo()
+        assert open(path, "rb").read() == good
+        # And the surviving checkpoint still resumes cleanly.
+        SearchSession.resume(path)

@@ -1,0 +1,56 @@
+"""Shared fixtures for the job-fleet tests: a tiny problem and its pool
+reference sweep, computed once per module and compared field-for-field
+against everything the fleet produces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core.config import FastFTConfig
+
+TINY = dict(
+    episodes=2,
+    steps_per_episode=2,
+    cold_start_episodes=1,
+    retrain_every_episodes=1,
+    component_epochs=2,
+    trigger_warmup=2,
+    cv_splits=3,
+    rf_estimators=4,
+    max_clusters=3,
+    mi_max_rows=64,
+)
+
+SEEDS = [0, 1]
+
+
+def identity_fields(result) -> tuple:
+    """The bit-identity comparison basis used across the repo's tests."""
+    return (
+        result.plan.to_json(),
+        repr(result.base_score),
+        repr(result.best_score),
+        [r.deterministic_dict() for r in result.history],
+    )
+
+
+@pytest.fixture(scope="package")
+def problem():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(60, 4))
+    y = (X[:, 0] + X[:, 1] > 0).astype(int)
+    return X, y
+
+
+@pytest.fixture(scope="package")
+def tiny_config():
+    return FastFTConfig(**TINY)
+
+
+@pytest.fixture(scope="package")
+def pool_reference(problem, tiny_config):
+    """The in-process pool sweep every fleet run must reproduce exactly."""
+    X, y = problem
+    return api.sweep(X, y, seeds=SEEDS, config=tiny_config, n_jobs=1)

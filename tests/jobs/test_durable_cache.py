@@ -1,0 +1,142 @@
+"""repro.jobs.cache: the durable oracle log under damage and concurrency.
+
+The central claim: a torn or corrupted tail never costs a single earlier
+record. The torn-tail test proves it exhaustively — truncation at *every*
+byte offset inside the final record."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.jobs.cache import (
+    DurableOracleCache,
+    encode_record,
+    load_durable_entries,
+    load_segment,
+)
+from repro.jobs.chaos import flip_byte, truncate_tail
+
+KEYS = [f"{i:040x}" for i in range(4)]
+SCORES = [0.123456789, -1.5, 7.25e-12, 0.9999999999999999]
+
+
+def _write_segment(path, n=3):
+    with open(path, "wb") as fh:
+        for key, score in zip(KEYS[:n], SCORES[:n]):
+            fh.write(encode_record(key, score))
+
+
+class TestRecordFraming:
+    def test_scores_round_trip_bit_exactly(self, tmp_path):
+        path = str(tmp_path / "seg.log")
+        _write_segment(path, n=3)
+        entries = load_segment(path)
+        assert [repr(entries[k]) for k in KEYS[:3]] == [repr(s) for s in SCORES[:3]]
+
+    def test_torn_tail_at_every_byte_offset_of_last_record(self, tmp_path):
+        """Chop N bytes off the end for every N inside the last record:
+        the damaged record is dropped, every earlier record survives."""
+        intact = str(tmp_path / "intact.log")
+        _write_segment(intact, n=3)
+        last_len = len(encode_record(KEYS[2], SCORES[2]))
+        for cut in range(1, last_len + 1):
+            path = str(tmp_path / f"torn-{cut}.log")
+            _write_segment(path, n=3)
+            truncate_tail(path, cut)
+            entries = load_segment(path)
+            assert KEYS[2] not in entries, f"cut={cut} kept a torn record"
+            assert [repr(entries[k]) for k in KEYS[:2]] == [
+                repr(s) for s in SCORES[:2]
+            ], f"cut={cut} lost an earlier record"
+
+    def test_mid_file_corruption_invalidates_suffix_only(self, tmp_path):
+        path = str(tmp_path / "seg.log")
+        _write_segment(path, n=3)
+        # Flip a byte inside the *second* record's score field.
+        rec_len = len(encode_record(KEYS[0], SCORES[0]))
+        flip_byte(path, rec_len + 45)
+        entries = load_segment(path)
+        assert repr(entries[KEYS[0]]) == repr(SCORES[0])
+        assert KEYS[1] not in entries and KEYS[2] not in entries
+
+    def test_repair_truncates_back_to_last_valid_record(self, tmp_path):
+        path = str(tmp_path / "seg.log")
+        _write_segment(path, n=3)
+        truncate_tail(path, 5)
+        with pytest.warns(RuntimeWarning, match="damaged tail"):
+            entries = load_segment(path, repair=True)
+        assert set(entries) == set(KEYS[:2])
+        # After repair the file is byte-clean: loading again warns nothing
+        # and appending works.
+        assert load_segment(path) == entries
+        with open(path, "ab") as fh:
+            fh.write(encode_record(KEYS[3], SCORES[3]))
+        assert set(load_segment(path)) == set(KEYS[:2]) | {KEYS[3]}
+
+
+class TestDurableOracleCache:
+    def test_put_appends_and_reopen_reloads(self, tmp_path):
+        d = str(tmp_path)
+        cache = DurableOracleCache(d, owner="w1")
+        cache.put(KEYS[0], SCORES[0])
+        cache.put(KEYS[0], SCORES[0])  # redundant put: no extra record
+        cache.close()
+        assert os.path.getsize(cache.segment_path) == len(
+            encode_record(KEYS[0], SCORES[0])
+        )
+        reopened = DurableOracleCache(d, owner="w2")
+        assert repr(reopened.get(KEYS[0])) == repr(SCORES[0])
+        reopened.close()
+
+    def test_reader_never_repairs_foreign_segments(self, tmp_path):
+        d = str(tmp_path)
+        w1 = DurableOracleCache(d, owner="w1")
+        w1.put(KEYS[0], SCORES[0])
+        w1.put(KEYS[1], SCORES[1])
+        w1.close()
+        truncate_tail(w1.segment_path, 3)
+        size_after_damage = os.path.getsize(w1.segment_path)
+        w2 = DurableOracleCache(d, owner="w2")
+        # w2 sees the intact prefix but leaves w1's file alone.
+        assert repr(w2.get(KEYS[0])) == repr(SCORES[0])
+        assert w2.get(KEYS[1]) is None
+        assert os.path.getsize(w1.segment_path) == size_after_damage
+        w2.close()
+        # w1 itself repairs its own tail on reopen.
+        with pytest.warns(RuntimeWarning, match="damaged tail"):
+            w1b = DurableOracleCache(d, owner="w1")
+        assert os.path.getsize(w1b.segment_path) < size_after_damage
+        w1b.close()
+
+    def test_concurrent_owner_segments_merge(self, tmp_path):
+        d = str(tmp_path)
+        a = DurableOracleCache(d, owner="a")
+        b = DurableOracleCache(d, owner="b")
+        a.put(KEYS[0], SCORES[0])
+        b.put(KEYS[1], SCORES[1])
+        assert a.refresh() == 1  # folds in b's record
+        assert repr(a.get(KEYS[1])) == repr(SCORES[1])
+        merged = load_durable_entries(d)
+        assert set(merged) == {KEYS[0], KEYS[1]}
+        a.close()
+        b.close()
+
+    def test_pickling_degrades_to_in_memory_cache(self, tmp_path):
+        cache = DurableOracleCache(str(tmp_path), owner="w1")
+        cache.put(KEYS[0], SCORES[0])
+        clone = pickle.loads(pickle.dumps(cache))
+        # Entries travel; durability and owner identity do not.
+        assert repr(clone.get(KEYS[0])) == repr(SCORES[0])
+        assert clone.segment_path is None
+        clone.put(KEYS[1], SCORES[1])  # appends nowhere, stays in memory
+        assert set(load_durable_entries(str(tmp_path))) == {KEYS[0]}
+        cache.close()
+
+    def test_read_only_cache_never_creates_segments(self, tmp_path):
+        cache = DurableOracleCache(str(tmp_path))
+        cache.put(KEYS[0], SCORES[0])
+        cache.close()
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".log")] == []

@@ -1,0 +1,286 @@
+"""The job fleet under fire: every run must be bit-identical to the pool.
+
+These tests run real (tiny) searches through the jobfile backend, inject
+crashes — SIGKILL mid-episode, frozen heartbeats, corrupted result files,
+torn checkpoints — and compare the final ``SweepResult`` field-for-field
+against the in-process pool reference. That comparison is the PR's whole
+claim: the fleet changes *where* work runs and *how often it restarts*,
+never what it computes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.session import CheckpointCorruptError
+from repro.jobs import (
+    ChaosSpec,
+    JobDir,
+    SweepGatherError,
+    SweepSpec,
+    gather,
+    init_sweep,
+    run_job,
+    run_jobfile_sweep,
+)
+from repro.jobs.chaos import flip_byte, truncate_tail
+from repro.obs import MetricsRegistry
+
+SEEDS = [0, 1]
+
+
+def identity_fields(result) -> tuple:
+    return (
+        result.plan.to_json(),
+        repr(result.base_score),
+        repr(result.best_score),
+        [r.deterministic_dict() for r in result.history],
+    )
+
+
+def assert_matches_pool(sweep, pool_reference, seeds=SEEDS):
+    for seed in seeds:
+        assert identity_fields(sweep.results[seed]) == identity_fields(
+            pool_reference.results[seed]
+        ), f"seed {seed} diverged from the pool backend"
+
+
+@pytest.fixture
+def initialized(tmp_path, problem, tiny_config):
+    d = str(tmp_path / "sweep")
+    X, y = problem
+    spec = SweepSpec(
+        task="classification", seeds=SEEDS, config=tiny_config, lease_timeout=5.0
+    )
+    init_sweep(d, X, y, spec)
+    return d
+
+
+class TestWorkerPath:
+    def test_direct_workers_match_pool_and_are_idempotent(
+        self, initialized, pool_reference
+    ):
+        assert run_job(initialized, 0) == "done"
+        assert run_job(initialized, 0) == "already-done"
+        assert run_job(initialized, 1) == "done"
+        assert_matches_pool(gather(initialized), pool_reference)
+
+    def test_worker_rejects_unknown_seed(self, initialized):
+        with pytest.raises(ValueError, match="not part of this sweep"):
+            run_job(initialized, 99)
+
+    def test_torn_checkpoint_is_quarantined_not_fatal(
+        self, initialized, pool_reference
+    ):
+        """External damage to a checkpoint restarts the job from scratch —
+        with a warning, a ``.corrupt`` quarantine file, and an unchanged
+        final result."""
+        assert run_job(initialized, 0) == "done"
+        job = JobDir(initialized, 0)
+        truncate_tail(job.checkpoint_path, os.path.getsize(job.checkpoint_path) // 2)
+        job.discard_result()
+        with pytest.warns(RuntimeWarning, match="discarding unreadable checkpoint"):
+            assert run_job(initialized, 0) == "done"
+        assert os.path.exists(job.checkpoint_path + ".corrupt")
+        assert run_job(initialized, 1) == "done"
+        assert_matches_pool(gather(initialized), pool_reference)
+
+
+class TestSupervisorChaos:
+    def test_sigkill_mid_episode_then_retry_is_bit_identical(
+        self, problem, tiny_config, pool_reference
+    ):
+        """The ISSUE's headline chaos test: SIGKILL a worker mid-episode
+        (after episode 1's checkpoint, before episode 2's), re-run, and
+        demand the gathered sweep match the pool exactly."""
+        X, y = problem
+
+        def chaos(seed, attempt):
+            if seed == 0 and attempt == 0:
+                return ChaosSpec(kill_at_global_step=3)
+            return None
+
+        metrics = MetricsRegistry()
+        sweep = run_jobfile_sweep(
+            X, y, seeds=SEEDS, config=tiny_config, n_workers=2,
+            lease_timeout=5.0, chaos_factory=chaos, metrics=metrics,
+        )
+        assert_matches_pool(sweep, pool_reference)
+        assert metrics.counter("jobs_retries_total").value >= 1
+        assert metrics.counter("jobs_completed_total").value == len(SEEDS)
+
+    def test_frozen_heartbeat_is_reclaimed_and_retried(
+        self, problem, tiny_config, tmp_path, pool_reference
+    ):
+        """A wedged worker (hung mid-episode, heartbeat frozen) must lose
+        its lease to the supervisor and be replaced."""
+        from repro.jobs.supervisor import JobFleetSupervisor
+
+        X, y = problem
+        d = str(tmp_path / "sweep")
+        # A short lease timeout in the spec makes the reclaim quick while
+        # keeping healthy workers safe: heartbeats renew at timeout / 4.
+        spec = SweepSpec(
+            task="classification", seeds=SEEDS, config=tiny_config,
+            lease_timeout=0.75,
+        )
+        init_sweep(d, X, y, spec)
+
+        def chaos(seed, attempt):
+            if seed == 1 and attempt == 0:
+                return ChaosSpec(
+                    hang_at_global_step=2, hang_seconds=60.0, freeze_heartbeat=True
+                )
+            return None
+
+        metrics = MetricsRegistry()
+        supervisor = JobFleetSupervisor(
+            d, n_workers=2, chaos_factory=chaos, metrics=metrics
+        )
+        states = supervisor.run()
+        assert set(states.values()) == {"done"}
+        assert metrics.counter("jobs_lease_reclaims_total").value >= 1
+        assert_matches_pool(gather(d), pool_reference)
+
+    def test_corrupt_result_is_discarded_and_recomputed(
+        self, initialized, pool_reference
+    ):
+        from repro.jobs.supervisor import JobFleetSupervisor
+
+        assert run_job(initialized, 0) == "done"
+        job = JobDir(initialized, 0)
+        flip_byte(job.result_path, -3)
+        with pytest.raises(SweepGatherError):
+            gather(initialized)
+        JobFleetSupervisor(initialized, n_workers=2).run()
+        assert_matches_pool(gather(initialized), pool_reference)
+
+
+class TestGatherFailurePolicy:
+    @pytest.fixture
+    def partially_failed(self, problem, tiny_config, tmp_path):
+        """A persistent sweep dir where seed 1 exhausted its retries."""
+        from repro.jobs.supervisor import JobFleetSupervisor
+
+        X, y = problem
+        d = str(tmp_path / "sweep")
+        spec = SweepSpec(
+            task="classification", seeds=SEEDS, config=tiny_config,
+            lease_timeout=5.0, max_retries=0,
+        )
+        init_sweep(d, X, y, spec)
+
+        def chaos(seed, attempt):
+            return ChaosSpec(raise_at_global_step=1) if seed == 1 else None
+
+        states = JobFleetSupervisor(d, n_workers=2, chaos_factory=chaos).run()
+        assert states == {0: "done", 1: "failed"}
+        return d
+
+    def test_gather_raises_structured_error(self, partially_failed):
+        with pytest.raises(SweepGatherError) as excinfo:
+            gather(partially_failed)
+        err = excinfo.value
+        assert err.failed_seeds == [1]
+        assert err.completed_seeds == [0]
+        assert "seed 1" in str(err) and "permanently failed" in str(err)
+        assert "allow_partial" in str(err)
+
+    def test_allow_partial_returns_completed_seeds(
+        self, partially_failed, pool_reference
+    ):
+        sweep = gather(partially_failed, allow_partial=True)
+        assert sweep.is_partial
+        assert sweep.failed_seeds == [1]
+        assert sweep.seeds == [0]
+        assert "PARTIAL" in sweep.summary()
+        assert_matches_pool(sweep, pool_reference, seeds=[0])
+
+    def test_supervisor_rerun_heals_a_failed_sweep(
+        self, partially_failed, pool_reference
+    ):
+        """`run(reset_failed=True)` without chaos completes the failed seed
+        and the healed gather matches the pool bit-for-bit."""
+        from repro.jobs.supervisor import JobFleetSupervisor
+
+        states = JobFleetSupervisor(partially_failed, n_workers=2).run(
+            reset_failed=True
+        )
+        assert set(states.values()) == {"done"}
+        assert_matches_pool(gather(partially_failed), pool_reference)
+
+
+class TestApiIntegration:
+    def test_api_sweep_backend_jobfile_matches_pool(
+        self, problem, tiny_config, pool_reference
+    ):
+        from repro import api
+
+        X, y = problem
+        sweep = api.sweep(
+            X, y, seeds=SEEDS, config=tiny_config, n_jobs=2, backend="jobfile"
+        )
+        assert_matches_pool(sweep, pool_reference)
+
+    def test_api_sweep_rejects_pool_only_arguments(self, problem, tiny_config):
+        from repro import api
+
+        X, y = problem
+        with pytest.raises(ValueError, match="callbacks_factory is not supported"):
+            api.sweep(
+                X, y, seeds=SEEDS, config=tiny_config, backend="jobfile",
+                callbacks_factory=lambda name: [],
+            )
+        with pytest.raises(ValueError, match="time_budget is not supported"):
+            api.sweep(
+                X, y, seeds=SEEDS, config=tiny_config, backend="jobfile",
+                time_budget=10.0,
+            )
+        with pytest.raises(ValueError, match="unknown sweep backend"):
+            api.sweep(X, y, seeds=SEEDS, config=tiny_config, backend="slurm")
+
+    def test_persistent_dir_resume_skips_completed_seeds(
+        self, problem, tiny_config, tmp_path, pool_reference
+    ):
+        """Re-running over a persistent sweep dir is a cheap no-op for
+        completed seeds (crash-resume at the whole-sweep level)."""
+        from repro import api
+
+        X, y = problem
+        d = str(tmp_path / "persist")
+        first = api.sweep(
+            X, y, seeds=SEEDS, config=tiny_config, backend="jobfile", sweep_dir=d
+        )
+        assert_matches_pool(first, pool_reference)
+        metrics = MetricsRegistry()
+        again = run_jobfile_sweep(
+            X, y, seeds=SEEDS, config=tiny_config, sweep_dir=d, metrics=metrics
+        )
+        assert_matches_pool(again, pool_reference)
+        # Nothing had to be recomputed: the supervisor saw two done jobs.
+        assert metrics.counter("jobs_spawned_total").value == 0
+
+    def test_mismatched_spec_is_rejected(self, problem, tiny_config, tmp_path):
+        X, y = problem
+        d = str(tmp_path / "persist")
+        run_jobfile_sweep(X, y, seeds=SEEDS, config=tiny_config, sweep_dir=d)
+        with pytest.raises(ValueError, match="does not match"):
+            run_jobfile_sweep(X, y, seeds=[5, 6], config=tiny_config, sweep_dir=d)
+
+
+class TestCheckpointCorruptionRegression:
+    def test_resume_names_the_corruption(self, problem, tiny_config, tmp_path):
+        """The satellite regression: a torn checkpoint raises a clear
+        CheckpointCorruptError, not a bare unpickling backtrace."""
+        from repro.core.session import SearchSession
+
+        X, y = problem
+        path = str(tmp_path / "ckpt.pkl")
+        session = SearchSession(X, y, config=tiny_config)
+        session.run(until=2)
+        session.checkpoint(path)
+        truncate_tail(path, os.path.getsize(path) // 2)
+        with pytest.raises(CheckpointCorruptError, match="truncated or corrupt"):
+            SearchSession.resume(path)
